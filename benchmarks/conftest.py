@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny`` / ``small`` /
+``medium`` (default ``small``).  The full small-scale harness regenerates
+every paper table and figure in a few minutes on one core; ``tiny`` is for
+quick sanity runs.
+
+Each benchmark prints the regenerated table (run pytest with ``-s`` to see
+them) and records one timed round via ``benchmark.pedantic`` — the
+experiments are deterministic, so repeated rounds would only re-measure the
+same computation.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+def run_and_render(benchmark, run_fn, scale, **kwargs):
+    """Time one regeneration of an experiment and print its table."""
+    result = benchmark.pedantic(
+        lambda: run_fn(scale=scale, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,12 @@
+"""Bench: design-choice ablations beyond the paper (DESIGN.md section 5)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = run_and_render(benchmark, ablations.run, scale, threads=16)
+    window_rows = [r for r in result.rows if r[0] == "race-window"]
+    conflicts = [r[4] for r in window_rows]
+    # Conflicts must grow with the store-visibility window.
+    assert conflicts == sorted(conflicts)

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Figure 1 (per-iteration phase breakdown)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import figure1
+
+
+def test_figure1(benchmark, scale):
+    result = run_and_render(benchmark, figure1.run, scale, threads=16)
+    series = result.data["series"]
+    # Paper take-away 4: net-based coloring wins the first round big.
+    n1n2_round1 = sum(series["N1-N2"][0])
+    v64d_round1 = sum(series["V-V-64D"][0])
+    assert n1n2_round1 < v64d_round1

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Figure 2 (all matrices x algorithms x threads).
+
+This is the expensive sweep; Tables III/IV consume its cached runs, so it
+runs first in file order (pytest collects alphabetically: figure2 < table3).
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import figure2
+
+
+def test_figure2(benchmark, scale):
+    result = run_and_render(benchmark, figure2.run, scale)
+    # 8 matrices x (8 algorithms + 1 sequential row)
+    assert len(result.rows) == 8 * 9

@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Figure 3 (sorted cardinality curves)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import figure3
+
+
+def test_figure3(benchmark, scale):
+    result = run_and_render(benchmark, figure3.run, scale, threads=16)
+    curves = result.data["curves"]
+    for alg in ("V-N2", "N1-N2"):
+        # Balanced heads are no taller than the unbalanced head.
+        assert curves[f"{alg}-B2"][0] <= curves[f"{alg}-U"][0]

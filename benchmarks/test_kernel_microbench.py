@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the hot building blocks (host-side throughput).
+
+Unlike the experiment benches (which report *simulated* cycles), these
+measure real wall-clock of the Python implementation itself: forbidden-set
+ops, the two-hop cache build, one engine phase, and a full coloring run.
+Useful for tracking host-side performance regressions of the simulator.
+"""
+
+import numpy as np
+
+from repro import color_bgpc, sequential_bgpc
+from repro.core.forbidden import ForbiddenSet
+from repro.datasets import load_dataset, random_bipartite
+from repro.graph.twohop import bgpc_twohop
+
+
+def test_forbidden_set_throughput(benchmark):
+    forb = ForbiddenSet(256)
+    batch = np.random.default_rng(0).integers(0, 200, size=64)
+
+    def work():
+        for _ in range(100):
+            forb.begin()
+            forb.add_many(batch)
+            forb.first_fit()
+
+    benchmark(work)
+
+
+def test_twohop_build(benchmark):
+    bg = random_bipartite(400, 600, density=0.02, seed=1)
+
+    def work():
+        import repro.graph.twohop as mod
+
+        mod._bgpc_cache.clear()
+        return bgpc_twohop(bg)
+
+    two = benchmark(work)
+    assert two is not None
+
+
+def test_sequential_coloring_throughput(benchmark, scale):
+    bg = load_dataset("kkt", scale)
+    result = benchmark.pedantic(lambda: sequential_bgpc(bg), rounds=2, iterations=1)
+    assert result.num_colors > 0
+
+
+def test_parallel_coloring_throughput(benchmark, scale):
+    bg = load_dataset("kkt", scale)
+    result = benchmark.pedantic(
+        lambda: color_bgpc(bg, algorithm="N1-N2", threads=16),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.num_colors > 0

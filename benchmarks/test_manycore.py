@@ -1,0 +1,17 @@
+"""Bench: manycore projection (paper section VIII direction)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import manycore
+
+
+def test_manycore(benchmark, scale):
+    result = run_and_render(benchmark, manycore.run, scale)
+    data = result.data
+    # Net tasks deviate less than vertex tasks on the square instances.
+    for name in ("channel", "copapers"):
+        v_cv, n_cv = data[name]["task_cv"]
+        assert n_cv <= v_cv
+    # N1-N2 stays ahead of V-V-64D at every core count on every instance.
+    for name, entry in data.items():
+        for a, b in zip(entry["speedups"]["N1-N2"], entry["speedups"]["V-V-64D"]):
+            assert a > b

@@ -1,0 +1,9 @@
+"""Bench: regenerate paper Table I (|W_next| after the first iteration)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import table1
+
+
+def test_table1(benchmark, scale):
+    result = run_and_render(benchmark, table1.run, scale, threads=16)
+    assert result.data["shape_ok"], "Alg 6 refinements must reduce |W_next|"

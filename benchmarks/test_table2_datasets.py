@@ -1,0 +1,11 @@
+"""Bench: regenerate paper Table II (dataset properties + sequential runs)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import table2
+
+
+def test_table2(benchmark, scale):
+    result = run_and_render(benchmark, table2.run, scale)
+    assert len(result.rows) == 8
+    # Paper shape: smallest-last reduces colors on most instances.
+    assert result.data["sl_reduces"] >= 5

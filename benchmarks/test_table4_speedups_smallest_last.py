@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Table IV (BGPC speedups, smallest-last order)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import table4
+
+
+def test_table4(benchmark, scale):
+    result = run_and_render(benchmark, table4.run, scale)
+    raw = result.data
+    t16 = {alg: vals["speedups"][-1] for alg, vals in raw.items()}
+    assert t16["N1-N2"] == max(t16.values())
+    if scale != "tiny":
+        assert t16["V-V"] < t16["N1-N2"]

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Table V (D2GC speedups, symmetric instances)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import table5
+
+
+def test_table5(benchmark, scale):
+    result = run_and_render(benchmark, table5.run, scale)
+    raw = result.data
+    t16 = {alg: vals["speedups"][-1] for alg, vals in raw.items()}
+    # Paper shape: N1-N2 fastest, roughly 2x over V-V-64D at 16 threads.
+    assert t16["N1-N2"] == max(t16.values())
+    if scale != "tiny":
+        assert raw["N1-N2"]["over_64d"] > 1.2

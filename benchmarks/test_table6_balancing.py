@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Table VI (balancing heuristics impact)."""
+
+from benchmarks.conftest import run_and_render
+from repro.bench.experiments import table6
+
+
+def test_table6(benchmark, scale):
+    result = run_and_render(benchmark, table6.run, scale, threads=16)
+    raw = result.data
+    for alg in ("V-N2", "N1-N2"):
+        # Balancing is (nearly) free and flattens the cardinality profile.
+        assert raw[f"{alg}-B1"]["time"] < 1.15
+        assert raw[f"{alg}-B1"]["std"] < 1.0
+        assert raw[f"{alg}-B2"]["std"] < 1.0

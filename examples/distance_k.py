@@ -1,0 +1,36 @@
+"""Distance-k coloring — the paper's §VIII future-work extension, working.
+
+The paper closes by suggesting the optimistic BGPC/D2GC techniques extend to
+distance-k coloring.  This example colors a mesh at k = 1..4 and shows:
+
+* k = 1 is ordinary graph coloring, k = 2 matches D2GC exactly;
+* even k admits the net-based kernels (radius-k/2 ball sweeps), odd k runs
+  the vertex-based variants;
+* colors grow with k (the radius-k ball is a clique in G^k).
+
+Run:  python examples/distance_k.py
+"""
+
+from repro import validate_d2gc
+from repro.core.distk import color_distk, sequential_distk, validate_distk
+from repro.datasets import channel_mesh
+from repro.graph.ops import bipartite_to_graph
+
+g = bipartite_to_graph(channel_mesh(nx=8, ny=6, nz=6))
+print(f"mesh: {g}  (max degree {g.max_degree()})")
+
+for k in (1, 2, 3, 4):
+    algorithm = "N1-N2" if k % 2 == 0 else "V-V-64D"
+    seq = sequential_distk(g, k)
+    par = color_distk(g, k, algorithm=algorithm, threads=16)
+    validate_distk(g, k, par.colors)
+    print(
+        f"k={k}: {par.num_colors:3d} colors ({algorithm}), "
+        f"{par.total_conflicts:4d} conflicts over {par.num_iterations} rounds, "
+        f"speedup {seq.cycles / par.cycles:.2f}x over sequential"
+    )
+
+# Sanity: a distance-2 coloring from the extension is a valid D2GC coloring.
+result = color_distk(g, 2, algorithm="N1-N2", threads=16)
+validate_d2gc(g, result.colors)
+print("OK: distance-2 via the extension validates against the D2GC checker.")

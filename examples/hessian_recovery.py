@@ -1,0 +1,58 @@
+"""Sparse Hessian recovery via distance-2 coloring (the D2GC application).
+
+We minimize-style a chain-structured function (think 1-D discretized energy)
+whose Hessian is tridiagonal-plus-next-nearest, distance-2 color its
+adjacency graph, and recover the full Hessian from ``num_colors + 1``
+gradient evaluations.
+
+Run:  python examples/hessian_recovery.py
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.apps import HessianCompressor
+
+N = 300
+
+
+def gradient(x: np.ndarray) -> np.ndarray:
+    """Gradient of f(x) = sum(x_i^4) + sum x_i x_{i+1} + 0.5 sum x_i x_{i+2}."""
+    g = 4 * x**3
+    g[:-1] += x[1:]
+    g[1:] += x[:-1]
+    g[:-2] += 0.5 * x[2:]
+    g[2:] += 0.5 * x[:-2]
+    return g
+
+
+def true_hessian(x: np.ndarray) -> np.ndarray:
+    h = np.diag(12 * x**2)
+    for i in range(N - 1):
+        h[i, i + 1] = h[i + 1, i] = 1.0
+    for i in range(N - 2):
+        h[i, i + 2] = h[i + 2, i] = 0.5
+    return h
+
+
+# Sparsity pattern: pentadiagonal, symmetric.
+pattern = sparse.diags(
+    [np.ones(N - 2), np.ones(N - 1), np.ones(N), np.ones(N - 1), np.ones(N - 2)],
+    [-2, -1, 0, 1, 2],
+).tocsr()
+
+compressor = HessianCompressor(pattern, algorithm="V-N2", threads=8)
+print(
+    f"pattern: {N}x{N} pentadiagonal; D2GC colors = {compressor.num_colors} "
+    f"(lower bound {compressor.graph.color_lower_bound()}), "
+    f"compression {compressor.compression_ratio:.1f}x"
+)
+
+x0 = np.linspace(-1.0, 1.0, N)
+estimated = compressor.estimate(gradient, x0, eps=1e-6).toarray()
+reference = true_hessian(x0)
+err = np.abs(estimated - reference).max()
+print(f"gradient evaluations: {compressor.num_colors + 1} instead of {N + 1}")
+print(f"max |estimated - analytic| = {err:.2e}")
+assert err < 1e-4, "finite-difference Hessian should match the analytic one"
+print("OK: Hessian recovered through the distance-2 coloring.")

@@ -1,0 +1,60 @@
+"""Hypergraph pin coloring through the BGPC machinery.
+
+The paper frames BGPC as hypergraph coloring (pins = V_A, nets = V_B).
+This example builds a circuit-style hypergraph (nets = signals connecting
+cell pins), writes/reads it in the PaToH-like text format, and colors the
+pins so no signal net carries two same-colored pins — e.g. to schedule
+conflict-free parallel updates of cells.
+
+Run:  python examples/hypergraph_coloring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.hypergraph import Hypergraph, read_patoh
+
+rng = np.random.default_rng(33)
+
+# A synthetic netlist: 400 cells (pins), 260 signal nets of 2-12 pins each,
+# plus a couple of high-fanout clock/reset nets.
+NUM_PINS = 400
+nets = []
+for _ in range(260):
+    size = int(rng.integers(2, 13))
+    nets.append(sorted(rng.choice(NUM_PINS, size=size, replace=False).tolist()))
+nets.append(sorted(rng.choice(NUM_PINS, size=90, replace=False).tolist()))  # clock
+nets.append(sorted(rng.choice(NUM_PINS, size=60, replace=False).tolist()))  # reset
+
+hg = Hypergraph.from_nets(nets, num_pins=NUM_PINS)
+print(f"netlist: {hg}")
+print(f"max net size (color lower bound): {hg.max_net_size()}")
+
+# Round-trip through the PaToH-style file format.
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "netlist.hgr"
+    with open(path, "w") as fh:
+        fh.write(f"{hg.num_nets} {hg.num_pins} {hg.num_pin_entries}\n")
+        for net_id in range(hg.num_nets):
+            fh.write(" ".join(str(int(p)) for p in hg.pins(net_id)) + "\n")
+    loaded = read_patoh(path)
+    assert loaded.num_pin_entries == hg.num_pin_entries
+    print(f"round-tripped through {path.name}: {loaded}")
+
+# Color the pins with the paper's fastest variant.
+result = hg.color(algorithm="N1-N2", threads=16)
+hg.validate(result.colors)
+print(
+    f"N1-N2: {result.num_colors} colors, {result.num_iterations} rounds, "
+    f"{result.total_conflicts} conflicts"
+)
+
+# The schedule interpretation: pins of one color can be processed together
+# without two of them ever sharing a signal.
+classes = np.bincount(result.colors)
+print(
+    f"parallel steps: {classes.size}; largest step {classes.max()} pins, "
+    f"smallest {classes.min()}"
+)

@@ -1,0 +1,71 @@
+"""Sparse Jacobian estimation with BGPC column compression.
+
+The classical use-case that motivates bipartite-graph partial coloring
+(paper §I): estimating the Jacobian of a sparse vector function with far
+fewer evaluations than one per variable.
+
+We build a nonlinear discretized-PDE-style residual on a 1-D mesh whose
+Jacobian is banded, color its columns, and recover the full Jacobian from
+``num_colors + 1`` function evaluations instead of ``n + 1``.
+
+Run:  python examples/jacobian_compression.py
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.apps import JacobianCompressor
+
+N = 400  # variables
+BAND = 3  # each residual couples 2*BAND+1 unknowns
+
+
+def residual(x: np.ndarray) -> np.ndarray:
+    """A nonlinear banded residual: r_i = x_i^2 + sum of neighbour terms."""
+    out = x**2
+    for offset in range(1, BAND + 1):
+        out[:-offset] += np.sin(x[offset:]) * 0.5
+        out[offset:] += 0.25 * x[:-offset] * x[offset:]
+    return out
+
+
+# Sparsity pattern of the Jacobian (banded with half-width BAND).
+diags = [np.ones(N - abs(k)) for k in range(-BAND, BAND + 1)]
+pattern = sparse.diags(diags, range(-BAND, BAND + 1)).tocsr()
+pattern.data[:] = 1.0
+
+compressor = JacobianCompressor(pattern, algorithm="N1-N2", threads=16)
+print(
+    f"pattern: {N}x{N}, {pattern.nnz} nonzeros; "
+    f"colors = {compressor.num_colors} "
+    f"(compression {compressor.compression_ratio:.1f}x, "
+    f"lower bound {compressor.graph.color_lower_bound()})"
+)
+print(
+    f"evaluations needed: {compressor.num_colors + 1} "
+    f"instead of {N + 1} (one per variable)"
+)
+
+x0 = np.linspace(0.1, 1.0, N)
+jac_estimated = compressor.estimate(residual, x0, eps=1e-7)
+
+# Check against a one-column-at-a-time finite-difference reference on a
+# random sample of columns: the compressed estimate must agree exactly
+# (same differencing formula, just batched by color).
+eps = 1e-7
+base = residual(x0)
+max_err = 0.0
+sample = np.random.default_rng(0).choice(N, size=12, replace=False)
+for j in sample:
+    perturbed = x0.copy()
+    perturbed[j] += eps
+    reference_col = (residual(perturbed) - base) / eps
+    estimated_col = jac_estimated[:, j].toarray().ravel()
+    nonzero_rows = pattern[:, j].nonzero()[0]
+    max_err = max(
+        max_err,
+        float(np.abs(estimated_col[nonzero_rows] - reference_col[nonzero_rows]).max()),
+    )
+print(f"max |compressed - reference| over {sample.size} sampled columns: {max_err:.2e}")
+assert max_err < 1e-12, "compressed recovery must match column-wise differencing"
+print("OK: compressed Jacobian matches column-wise finite differences.")

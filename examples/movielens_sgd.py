@@ -1,0 +1,57 @@
+"""Lock-free matrix factorization scheduled by BGPC (the paper's motivation).
+
+The introduction names matrix decomposition on MovieLens as the application
+behind this work: SGD updates over ratings race on shared user/item factors,
+and a bipartite partial coloring of the rating matrix yields a lock-free
+schedule.  This example:
+
+1. generates a MovieLens-like synthetic rating matrix,
+2. colors its columns with N1-N2 (unbalanced) and with the B2 balancing
+   heuristic,
+3. runs color-scheduled SGD and reports convergence, and
+4. compares the parallel utilization of both schedules — the Section V
+   argument that balanced color classes feed more cores.
+
+Run:  python examples/movielens_sgd.py
+"""
+
+import numpy as np
+
+from repro import B2Policy, color_bgpc
+from repro.apps import ColorSchedule, sgd_factorize
+from repro.datasets import movielens_like
+
+CORES = 16
+
+bg = movielens_like(num_nets=300, num_vertices=900, avg_net_size=18,
+                    max_net_size=260, seed=11)
+print(f"rating pattern: {bg.num_nets} users x {bg.num_vertices} items, "
+      f"{bg.num_edges} ratings")
+
+# Ground-truth low-rank structure + noise, so SGD has something to find.
+rng = np.random.default_rng(5)
+true_p = rng.normal(size=(bg.num_nets, 4))
+true_q = rng.normal(size=(bg.num_vertices, 4))
+user_of_entry = np.repeat(np.arange(bg.num_nets), bg.net_to_vtxs.degrees())
+item_of_entry = bg.net_to_vtxs.idx
+ratings = np.einsum(
+    "ij,ij->i", true_p[user_of_entry], true_q[item_of_entry]
+) + rng.normal(scale=0.1, size=bg.num_edges)
+
+P, Q, losses, stats = sgd_factorize(
+    bg, ratings, rank=4, epochs=8, threads=CORES, algorithm="N1-N2"
+)
+print(f"RMSE per epoch: {[round(l, 3) for l in losses]}")
+assert losses[-1] < losses[0], "SGD must reduce the training RMSE"
+
+# Utilization comparison: unbalanced vs B2-balanced schedule.
+for label, policy in (("unbalanced (U)", None), ("balanced (B2)", B2Policy())):
+    result = color_bgpc(bg, algorithm="N1-N2", threads=CORES, policy=policy)
+    schedule = ColorSchedule(bg, result.colors)
+    schedule.assert_lock_free()
+    s = schedule.stats(CORES)
+    print(
+        f"{label}: {s.num_steps} parallel steps, "
+        f"{s.actual_rounds} rounds of {CORES} cores "
+        f"(ideal {s.ideal_rounds}) -> utilization {s.utilization:.2f}"
+    )

@@ -1,0 +1,42 @@
+"""Mini Table-III: sweep the paper's eight algorithms on one instance.
+
+Colors the channel-like mesh with every algorithm at t = 2, 4, 8, 16
+simulated cores and prints speedups over the sequential greedy baseline —
+a one-instance slice of the paper's Table III (the full harness lives in
+``python -m repro.bench``).
+
+Run:  python examples/speedup_sweep.py [dataset]
+"""
+
+import sys
+
+from repro import BGPC_ALGORITHMS, color_bgpc, sequential_bgpc, validate_bgpc
+from repro.datasets import load_dataset
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "channel"
+bg = load_dataset(dataset, "small")
+print(f"dataset {dataset!r}: {bg}  (L = {bg.color_lower_bound()})")
+
+seq = sequential_bgpc(bg)
+print(f"sequential: {seq.num_colors} colors, {seq.cycles:.2e} cycles\n")
+
+header = f"{'alg':9s} {'colors':>6s} " + " ".join(f"t={t:<5d}" for t in (2, 4, 8, 16))
+print(header)
+print("-" * len(header))
+for alg in BGPC_ALGORITHMS:
+    speedups = []
+    colors = None
+    for t in (2, 4, 8, 16):
+        result = color_bgpc(bg, algorithm=alg, threads=t)
+        validate_bgpc(bg, result.colors)
+        speedups.append(seq.cycles / result.cycles)
+        colors = result.num_colors
+    print(
+        f"{alg:9s} {colors:6d} "
+        + " ".join(f"{s:5.2f}x" for s in speedups)
+    )
+
+print(
+    "\nExpected shape (paper Table III): V-V slowest, chunk-64 variants "
+    "faster, net-based conflict removal (V-N*) faster still, N1-N2 fastest."
+)

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via the PEP 517 path) fail with
+``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path, which needs no wheel.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

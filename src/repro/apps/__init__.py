@@ -1,0 +1,26 @@
+"""Applications of BGPC / D2GC (the paper's motivating use-cases).
+
+* :mod:`repro.apps.jacobian` — sparse Jacobian estimation via column
+  compression (Coleman–Moré; the classical BGPC application);
+* :mod:`repro.apps.hessian` — sparse symmetric Hessian recovery via D2GC;
+* :mod:`repro.apps.sgd` — lock-free parallel SGD for matrix factorization
+  scheduled by a bipartite partial coloring (the MovieLens motivation from
+  the paper's introduction).
+"""
+
+from repro.apps.jacobian import (
+    JacobianCompressor,
+    seed_matrix,
+    recover_jacobian,
+)
+from repro.apps.hessian import HessianCompressor
+from repro.apps.sgd import ColorSchedule, sgd_factorize
+
+__all__ = [
+    "JacobianCompressor",
+    "seed_matrix",
+    "recover_jacobian",
+    "HessianCompressor",
+    "ColorSchedule",
+    "sgd_factorize",
+]

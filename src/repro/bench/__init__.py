@@ -1,0 +1,44 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Each module in :mod:`repro.bench.experiments` reproduces one artifact:
+
+====================  =====================================================
+``table1``            |W_next| after the first iteration (net-based kernels)
+``table2``            dataset properties + sequential BGPC baselines
+``table3``            BGPC speedups, natural order (geomeans)
+``table4``            BGPC speedups, smallest-last order
+``table5``            D2GC speedups
+``table6``            balancing heuristics impact
+``figure1``           per-iteration phase breakdown on coPapers-like
+``figure2``           all matrices × algorithms × thread counts
+``figure3``           sorted color-class cardinality curves
+``ablations``         extra design-choice sweeps (chunk size, race window,
+                      B2 divisor, net-removal horizon)
+====================  =====================================================
+
+Run everything from the command line::
+
+    python -m repro.bench            # all experiments, small scale
+    python -m repro.bench table3     # one experiment
+    python -m repro.bench --scale tiny table1 table6
+"""
+
+from repro.bench.tables import Experiment, render_table
+from repro.bench.plots import hbar_chart, log_sparkline
+from repro.bench.runner import (
+    clear_cache,
+    geomean,
+    run_algorithm,
+    run_sequential_baseline,
+)
+
+__all__ = [
+    "Experiment",
+    "render_table",
+    "hbar_chart",
+    "log_sparkline",
+    "clear_cache",
+    "geomean",
+    "run_algorithm",
+    "run_sequential_baseline",
+]

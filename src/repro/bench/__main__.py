@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.bench [names...]``.
+
+Runs the requested experiments (all of them by default) at the requested
+scale and prints each rendered table; optionally writes them to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print/export their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(ALL_EXPERIMENTS),
+        help=f"which experiments to run (default: all of {sorted(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium"),
+        help="instance scale (default: small)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=16,
+        help="simulated thread count for single-t experiments (default: 16)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each experiment's rows as <csv-dir>/<id>.csv",
+    )
+    parser.add_argument(
+        "--plots",
+        action="store_true",
+        help="render terminal charts for the figure experiments",
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.experiments if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; choose from {sorted(ALL_EXPERIMENTS)}")
+
+    if args.csv_dir:
+        import os
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    chunks = []
+    for name in args.experiments:
+        started = time.time()
+        experiment = ALL_EXPERIMENTS[name](scale=args.scale, threads=args.threads)
+        rendered = experiment.render()
+        rendered += f"[{name} regenerated in {time.time() - started:.1f}s wall]\n"
+        print(rendered)
+        chunks.append(rendered)
+        if args.plots and experiment.id in ("figure1", "figure3"):
+            from repro.bench.plots import figure1_chart, figure3_chart
+
+            chart = (
+                figure1_chart(experiment.data["series"])
+                if experiment.id == "figure1"
+                else figure3_chart(experiment.data["curves"])
+            )
+            print(chart + "\n")
+            chunks.append(chart + "\n")
+        if args.csv_dir:
+            experiment.to_csv(f"{args.csv_dir}/{experiment.id}.csv")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

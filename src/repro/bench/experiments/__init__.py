@@ -1,0 +1,31 @@
+"""One module per paper table/figure; each exposes ``run(scale=...) -> Experiment``."""
+
+from repro.bench.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    figure1,
+    figure2,
+    figure3,
+    ablations,
+    manycore,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "ablations": ablations.run,
+    "manycore": manycore.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

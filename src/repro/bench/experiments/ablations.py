@@ -1,0 +1,280 @@
+"""Design-choice ablations beyond the paper's tables (DESIGN.md §5).
+
+Each sweep isolates one design knob the paper (or our simulator
+calibration) relies on:
+
+* **chunk size** — dynamic-scheduling chunk ∈ {1, 16, 64, 256} for the
+  vertex-based algorithm (the paper only contrasts 1 vs 64);
+* **race window** — the simulator's store-visibility window vs conflict
+  count (a pure-simulation knob; shows conflicts scale with optimism);
+* **B2 restart floor** — the ``colmax/k`` divisor of Alg. 12 (the paper
+  hard-codes k = 3);
+* **net-removal horizon** — net-based removal for the first h iterations,
+  h ∈ {0, 1, 2, 3, ∞} (the paper samples h ∈ {0, 1, 2, ∞});
+* **balancing mechanism** — B1/B2 (online, free) vs the Lu et al.-style
+  shuffle post-pass (flatter, but pays an extra two-hop sweep);
+* **JP vs speculative** — the §VII contrast with the pre-speculative
+  maximal-independent-set family (Jones–Plassmann);
+* **distributed** — supersteps/colors/traffic of the partitioned
+  superstep framework (Bozdağ et al.) the shared-memory work descends from;
+* **orderings** — sequential colors under ColPack's ordering set;
+* **distance-k** — the §VIII future-work extension: colors and first-round
+  cost for k ∈ {1, 2, 3, 4} on a mesh instance.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import Experiment
+from repro.core.bgpc import color_bgpc, sequential_bgpc
+from repro.core.bgpc.runner import BGPCAdapter
+from repro.core.driver import INF_ITERS, AlgorithmSpec, run_speculative
+from repro.core.metrics import color_stats
+from repro.core.policies import B2Policy
+from repro.datasets.registry import load_dataset
+from repro.machine.cost import CostModel
+from repro.machine.engine import QUEUE_PRIVATE
+
+__all__ = ["run"]
+
+DATASET = "channel"
+
+
+def _chunk_sweep(scale: str, threads: int, rows: list) -> None:
+    bg = load_dataset(DATASET, scale)
+    cost = CostModel()
+    seq = sequential_bgpc(bg, cost=cost)
+    for chunk in (1, 16, 64, 256):
+        spec = AlgorithmSpec(f"V-V-{chunk}D", chunk=chunk, queue_mode=QUEUE_PRIVATE)
+        adapter = BGPCAdapter(bg, cost)
+        result = run_speculative(adapter, spec, threads=threads, cost=cost)
+        rows.append(
+            (
+                "chunk-size",
+                f"chunk={chunk}",
+                round(seq.cycles / result.cycles, 2),
+                result.num_colors,
+                result.total_conflicts,
+            )
+        )
+
+
+def _race_window_sweep(scale: str, threads: int, rows: list) -> None:
+    bg = load_dataset(DATASET, scale)
+    for window in (5, 15, 40, 100):
+        cost = CostModel(race_window_pct=window)
+        seq = sequential_bgpc(bg, cost=cost)
+        result = color_bgpc(bg, algorithm="V-V-64D", threads=threads, cost=cost)
+        rows.append(
+            (
+                "race-window",
+                f"window={window}%",
+                round(seq.cycles / result.cycles, 2),
+                result.num_colors,
+                result.total_conflicts,
+            )
+        )
+
+
+class _B2WithDivisor(B2Policy):
+    """B2 with a configurable restart floor ``colmax // divisor + 1``."""
+
+    def __init__(self, divisor: int):
+        self.divisor = divisor
+
+    def choose(self, forbidden, key, state):
+        colmax = state.get("colmax", 0)
+        colnext = state.get("colnext", 0)
+        col, steps = forbidden.first_fit(colnext)
+        if col > colmax:
+            col, more = forbidden.first_fit(0)
+            steps += more
+        if col > colmax:
+            colmax = col
+        state["colmax"] = colmax
+        state["colnext"] = max(col + 1, colmax // self.divisor + 1)
+        return col, steps
+
+
+def _b2_divisor_sweep(scale: str, threads: int, rows: list) -> None:
+    bg = load_dataset(DATASET, scale)
+    for divisor in (2, 3, 5, 10):
+        result = color_bgpc(
+            bg,
+            algorithm="V-N2",
+            threads=threads,
+            policy=_B2WithDivisor(divisor),
+        )
+        stats = color_stats(result.colors)
+        rows.append(
+            (
+                "b2-divisor",
+                f"colmax/{divisor}",
+                round(result.cycles / 1e6, 2),
+                stats.num_colors,
+                round(stats.std, 1),
+            )
+        )
+
+
+def _horizon_sweep(scale: str, threads: int, rows: list) -> None:
+    bg = load_dataset(DATASET, scale)
+    cost = CostModel()
+    seq = sequential_bgpc(bg, cost=cost)
+    for horizon in (0, 1, 2, 3, INF_ITERS):
+        label = "inf" if horizon == INF_ITERS else str(horizon)
+        spec = AlgorithmSpec(
+            f"V-N{label}",
+            chunk=64,
+            queue_mode=QUEUE_PRIVATE,
+            net_removal_iters=horizon,
+        )
+        adapter = BGPCAdapter(bg, cost)
+        result = run_speculative(adapter, spec, threads=threads, cost=cost)
+        rows.append(
+            (
+                "net-removal-horizon",
+                f"h={label}",
+                round(seq.cycles / result.cycles, 2),
+                result.num_colors,
+                result.total_conflicts,
+            )
+        )
+
+
+def _balancing_mechanism_sweep(scale: str, threads: int, rows: list) -> None:
+    from repro.core.balance import rebalance_shuffle
+    from repro.core.policies import B1Policy, B2Policy
+
+    bg = load_dataset(DATASET, scale)
+    base = color_bgpc(bg, algorithm="V-N2", threads=threads)
+    base_std = color_stats(base.colors).std
+    rows.append(("balancing", "none (U)", 0.0, base.num_colors, round(base_std, 1)))
+    for name, policy in (("B1", B1Policy()), ("B2", B2Policy())):
+        result = color_bgpc(bg, algorithm="V-N2", threads=threads, policy=policy)
+        stats = color_stats(result.colors)
+        overhead = result.cycles - base.cycles
+        rows.append(
+            ("balancing", f"{name} (online)", round(overhead / 1e3, 1),
+             stats.num_colors, round(stats.std, 1))
+        )
+    shuffled = rebalance_shuffle(bg, base.colors)
+    stats = color_stats(shuffled.colors)
+    rows.append(
+        ("balancing", "shuffle (post)", round(shuffled.estimated_cycles / 1e3, 1),
+         stats.num_colors, round(stats.std, 1))
+    )
+
+
+def _jp_baseline_sweep(scale: str, threads: int, rows: list) -> None:
+    """Speculative vs Jones–Plassmann (the pre-speculative MIS family)."""
+    from repro.core.jp import jones_plassmann_bgpc
+
+    for dataset in (DATASET, "copapers"):
+        bg = load_dataset(dataset, scale)
+        cost = CostModel()
+        seq = sequential_bgpc(bg, cost=cost)
+        jp = jones_plassmann_bgpc(bg, threads=threads, cost=cost)
+        spec = color_bgpc(bg, algorithm="N1-N2", threads=threads, cost=cost)
+        rows.append(
+            ("jp-vs-speculative", f"{dataset}: JP",
+             round(seq.cycles / jp.cycles, 2), jp.num_colors,
+             jp.num_iterations)
+        )
+        rows.append(
+            ("jp-vs-speculative", f"{dataset}: N1-N2",
+             round(seq.cycles / spec.cycles, 2), spec.num_colors,
+             spec.num_iterations)
+        )
+
+
+def _ordering_sweep(scale: str, threads: int, rows: list) -> None:
+    from repro.order import ORDERINGS, get_ordering
+
+    bg = load_dataset(DATASET, scale)
+    for name in sorted(ORDERINGS):
+        order = None if name == "natural" else get_ordering(name)(bg)
+        seq = sequential_bgpc(bg, order=order)
+        rows.append(
+            ("ordering", name, round(seq.cycles / 1e6, 2), seq.num_colors, "")
+        )
+
+
+def _distributed_sweep(scale: str, threads: int, rows: list) -> None:
+    """The framework the paper descends from: partitioned superstep BGPC."""
+    from repro.dist import distributed_bgpc, partition_random
+
+    bg = load_dataset(DATASET, scale)
+    for ranks in (2, 4, 8):
+        result = distributed_bgpc(bg, ranks=ranks, batch=200)
+        rows.append(
+            ("distributed", f"ranks={ranks} block",
+             result.supersteps, result.num_colors,
+             round(result.comm_words / 1e3, 1))
+        )
+    scattered = distributed_bgpc(
+        bg, ranks=4, batch=200,
+        partition=partition_random(bg.num_vertices, 4, seed=9),
+    )
+    rows.append(
+        ("distributed", "ranks=4 random",
+         scattered.supersteps, scattered.num_colors,
+         round(scattered.comm_words / 1e3, 1))
+    )
+
+
+def _distance_k_sweep(scale: str, threads: int, rows: list) -> None:
+    from repro.core.distk import color_distk, sequential_distk
+    from repro.datasets.registry import load_d2gc_dataset
+
+    # Always the tiny mesh: radius-k balls grow like deg^k, so the sweep
+    # stays comparable (and fast) across harness scales.
+    g = load_d2gc_dataset("channel", "tiny")
+    for k in (1, 2, 3, 4):
+        seq = sequential_distk(g, k)
+        alg = "N1-N2" if k % 2 == 0 else "V-V-64D"
+        par = color_distk(g, k, algorithm=alg, threads=threads)
+        rows.append(
+            ("distance-k", f"k={k} ({alg})",
+             round(seq.cycles / par.cycles, 2), par.num_colors,
+             par.total_conflicts)
+        )
+
+
+def run(scale: str = "small", threads: int = 16) -> Experiment:
+    """Run all design-choice ablation sweeps."""
+    rows: list[tuple] = []
+    _chunk_sweep(scale, threads, rows)
+    _race_window_sweep(scale, threads, rows)
+    _b2_divisor_sweep(scale, threads, rows)
+    _horizon_sweep(scale, threads, rows)
+    _balancing_mechanism_sweep(scale, threads, rows)
+    _jp_baseline_sweep(scale, threads, rows)
+    _distributed_sweep(scale, threads, rows)
+    _ordering_sweep(scale, threads, rows)
+    _distance_k_sweep(scale, threads, rows)
+    notes = (
+        "chunk-size / net-removal-horizon rows: speedup over sequential, "
+        "colors, conflicts.\n"
+        "race-window rows: conflicts grow with the visibility window "
+        "(optimism damage).\n"
+        "b2-divisor rows: Mcycles, colors, cardinality std — smaller divisor "
+        "= higher restart floor = flatter classes.\n"
+        "balancing rows: extra Kcycles vs unbalanced, colors, std — B1/B2 "
+        "are free, the shuffle pays a real pass.\n"
+        "jp-vs-speculative rows: speedup over sequential, colors, rounds — "
+        "the MIS-based baseline needs far more rounds than N1-N2.\n"
+        "distributed rows: supersteps, colors, Kwords exchanged — the "
+        "partitioned superstep framework the shared-memory work descends "
+        "from; a random partition maximizes the boundary and the traffic.\n"
+        "ordering rows: sequential Mcycles and colors per vertex ordering "
+        "(ColPack's set).\n"
+        "distance-k rows: speedup over sequential, colors, conflicts — the "
+        "paper's §VIII extension (distance-k balls stay small on meshes)."
+    )
+    return Experiment(
+        id="ablations",
+        title=f"design-choice ablations on {DATASET} ({threads} threads)",
+        header=["sweep", "setting", "metric1", "metric2", "metric3"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,77 @@
+"""Figure 1 — per-iteration phase breakdown on the coPapers-like instance.
+
+The paper plots, for six algorithms at 16 threads, the coloring and
+conflict-removal time of each of the first five rounds on coPapersDBLP.
+The figure carries the paper's three take-aways:
+
+1. most of the time goes to coloring (not removal),
+2. most of the time goes to the first iterations,
+3. net-based removal every iteration eventually back-fires (V-N∞), while
+   one iteration of net-based coloring (N1-N2) wins the first round big.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_algorithm
+from repro.bench.tables import Experiment
+
+__all__ = ["run", "FIGURE1_ALGS"]
+
+FIGURE1_ALGS = ("V-V-64D", "V-Ninf", "V-N1", "V-N2", "N1-N2", "N2-N2")
+
+ROUNDS = 5
+
+
+def run(scale: str = "small", threads: int = 16, dataset: str = "copapers") -> Experiment:
+    """Regenerate the Figure 1 per-iteration breakdown."""
+    rows = []
+    series: dict = {}
+    for alg in FIGURE1_ALGS:
+        result = run_algorithm(dataset, alg, threads, scale)
+        per_round = []
+        for k in range(ROUNDS):
+            if k < len(result.iterations):
+                rec = result.iterations[k]
+                color = rec.color_timing.cycles if rec.color_timing else 0.0
+                remove = rec.remove_timing.cycles if rec.remove_timing else 0.0
+            else:
+                color = remove = 0.0
+            per_round.append((color, remove))
+            rows.append(
+                (
+                    alg,
+                    k + 1,
+                    int(per_round[k][0]),
+                    int(per_round[k][1]),
+                )
+            )
+        series[alg] = per_round
+    # The paper's take-aways, checked on the measured data.
+    total_color = sum(c for s in series.values() for c, _ in s)
+    total_remove = sum(r for s in series.values() for _, r in s)
+    # The "78% in the first iteration / 89% in the first two" statistic is
+    # about the standard vertex-based algorithm's runtime distribution.
+    v64d = series["V-V-64D"]
+    v64d_total = sum(c + r for c, r in v64d)
+    share1 = sum(v64d[0]) / max(1, v64d_total)
+    share2 = (sum(v64d[0]) + sum(v64d[1])) / max(1, v64d_total)
+    n1n2_first = sum(series["N1-N2"][0])
+    v64d_first = sum(series["V-V-64D"][0])
+    notes = (
+        f"coloring / removal cycle split: {total_color / max(1, total_color + total_remove):.0%} coloring "
+        "(paper: most of the time is coloring).\n"
+        f"V-V-64D share of cycles in round 1: {share1:.0%}, rounds 1-2: {share2:.0%} "
+        "(paper: ~78% / ~89%; our late rounds are fatter because the "
+        "requeued hubs are a larger fraction of the scaled-down instance).\n"
+        f"N1-N2 round 1 vs V-V-64D round 1: {n1n2_first / max(1, v64d_first):.2f}x "
+        "(paper: net-based coloring wins the first round)."
+    )
+    return Experiment(
+        id="figure1",
+        title=f"per-iteration cycles on {dataset} ({threads} threads, "
+        f"first {ROUNDS} rounds)",
+        header=["alg", "round", "coloring cycles", "removal cycles"],
+        rows=rows,
+        notes=notes,
+        data={"series": series},
+    )

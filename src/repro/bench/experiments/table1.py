@@ -1,0 +1,95 @@
+"""Table I — remaining |W_next| after the first iteration.
+
+The paper motivates Alg. 8's two refinements (first-pass marking and reverse
+first-fit) by counting, on 16 threads, how many vertices are still uncolored
+after one net-based coloring round followed by one net-based conflict
+removal:
+
+=============  ========  ===========  =========
+Matrix         Alg. 6    Alg. 6+rev   Alg. 8
+=============  ========  ===========  =========
+bone010        863,785   806,264      610,924
+coPapersDBLP   409,621   303,152      133,874
+=============  ========  ===========  =========
+
+(of |V_B| = 986,703 and 540,486 respectively).  Expected shape: monotone
+decrease from Alg. 6 to Alg. 8 on both instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.tables import Experiment
+from repro.core.bgpc.net import (
+    make_net_color_kernel,
+    make_net_color_kernel_v1,
+    make_net_removal_kernel,
+)
+from repro.datasets.registry import load_dataset
+from repro.machine.cost import CostModel
+from repro.machine.machine import Machine
+from repro.machine.scheduler import Schedule
+from repro.types import UNCOLORED
+
+__all__ = ["run", "remaining_after_first_iteration"]
+
+DATASETS = ("bone", "copapers")
+VARIANTS = ("alg6", "alg6-reverse", "alg8")
+
+
+def remaining_after_first_iteration(
+    dataset: str, variant: str, threads: int = 16, scale: str = "small"
+) -> int:
+    """Run one net-coloring round + one net-removal round; count uncolored."""
+    bg = load_dataset(dataset, scale)
+    cost = CostModel()
+    machine = Machine(threads, cost)
+    colors = np.full(bg.num_vertices, UNCOLORED, dtype=np.int64)
+    memory = machine.make_memory(colors)
+    if variant == "alg6":
+        color_kernel = make_net_color_kernel_v1(bg, cost, reverse=False)
+    elif variant == "alg6-reverse":
+        color_kernel = make_net_color_kernel_v1(bg, cost, reverse=True)
+    elif variant == "alg8":
+        color_kernel = make_net_color_kernel(bg, cost)
+    else:
+        raise ValueError(f"unknown Table I variant {variant!r}")
+    schedule = Schedule.dynamic(64)
+    machine.parallel_for(bg.num_nets, color_kernel, memory, schedule=schedule)
+    removal = make_net_removal_kernel(bg, cost)
+    machine.parallel_for(
+        bg.num_nets, removal, memory, schedule=schedule, phase_kind="remove"
+    )
+    return int(np.count_nonzero(memory.values == UNCOLORED))
+
+
+def run(scale: str = "small", threads: int = 16) -> Experiment:
+    """Regenerate Table I on the synthetic analogues."""
+    rows = []
+    shape_ok = True
+    for dataset in DATASETS:
+        bg = load_dataset(dataset, scale)
+        remaining = [
+            remaining_after_first_iteration(dataset, v, threads, scale)
+            for v in VARIANTS
+        ]
+        rows.append((dataset, bg.num_vertices, *remaining))
+        # Both refinements must beat plain Alg 6; the ordering between
+        # Alg 6+reverse and Alg 8 can tie within noise at reduced scale.
+        shape_ok &= remaining[1] <= remaining[0] and remaining[2] <= remaining[0]
+    notes = (
+        "Paper (16 threads): bone010 863,785 / 806,264 / 610,924 of 986,703; "
+        "coPapersDBLP 409,621 / 303,152 / 133,874 of 540,486.\n"
+        f"Shape (both refinements leave fewer uncolored than Alg 6): "
+        f"{'HOLDS' if shape_ok else 'VIOLATED'}."
+    )
+    return Experiment(
+        id="table1",
+        title="remaining |W_next| after the first iteration (net-based kernels, "
+        f"{threads} threads)",
+        header=["matrix", "|V_A|", "alg6", "alg6+reverse", "alg8"],
+        rows=rows,
+        notes=notes,
+        data={"shape_ok": shape_ok},
+    )

@@ -1,0 +1,74 @@
+"""Table II — dataset properties and sequential BGPC baselines.
+
+For every instance: matrix dimensions, max/std of the column degrees, the
+sequential greedy execution (simulated cycles) and color count under the
+natural order, the same under the smallest-last order, and the D2GC
+eligibility flag.  Paper shape: smallest-last reduces colors on most
+matrices while being somewhat slower to run end-to-end (ordering time is
+excluded, as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_sequential_baseline
+from repro.bench.tables import Experiment
+from repro.datasets.registry import DATASETS, bgpc_dataset_names, load_dataset
+from repro.graph.stats import dataset_properties
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", threads: int = 16) -> Experiment:
+    """Regenerate Table II (dataset properties + sequential baselines)."""
+    rows = []
+    sl_reduces = 0
+    for name in bgpc_dataset_names():
+        bg = load_dataset(name, scale)
+        props = dataset_properties(name, bg)
+        nat = run_sequential_baseline(name, scale, ordering="natural")
+        sl = run_sequential_baseline(name, scale, ordering="smallest-last")
+        if sl.num_colors <= nat.num_colors:
+            sl_reduces += 1
+        rows.append(
+            (
+                name,
+                DATASETS[name].paper_name,
+                props.num_rows,
+                props.num_cols,
+                props.nnz,
+                props.max_row_degree,
+                round(props.row_degree_std, 2),
+                int(nat.cycles),
+                nat.num_colors,
+                int(sl.cycles),
+                sl.num_colors,
+                "yes" if props.structurally_symmetric else "no",
+            )
+        )
+    notes = (
+        "Columns mirror paper Table II: sizes, degree stats, sequential BGPC "
+        "cycles+colors for natural and smallest-last orders, D2GC flag.\n"
+        f"Smallest-last reduces (or matches) colors on {sl_reduces} of "
+        f"{len(rows)} instances (paper: most of 8)."
+    )
+    return Experiment(
+        id="table2",
+        title="dataset properties and sequential BGPC baselines",
+        header=[
+            "name",
+            "stands for",
+            "#rows",
+            "#cols",
+            "#nnz",
+            "deg max (L)",
+            "deg std",
+            "nat cycles",
+            "nat #colors",
+            "SL cycles",
+            "SL #colors",
+            "D2GC",
+        ],
+        rows=rows,
+        notes=notes,
+        data={"sl_reduces": sl_reduces},
+    )

@@ -1,0 +1,99 @@
+"""Table III — BGPC speedups with the natural column order.
+
+Geometric means over the eight instances of the speedup over the
+*sequential* V-V baseline at t ∈ {2, 4, 8, 16}, the speedup over *parallel*
+V-V at t = 16, and the 16-thread color count normalized to V-V's.
+
+Paper values (for the notes column):
+
+========  ======  =====  =====  =====  ======  =========
+alg       colors  t=2    t=4    t=8    t=16    /V-V@16
+========  ======  =====  =====  =====  ======  =========
+V-V        1.00   0.74   1.24   1.88    2.76    1.00
+V-V-64     1.01   0.81   1.40   2.36    4.00    1.45
+V-V-64D    1.01   0.85   1.46   2.41    4.05    1.47
+V-N∞       1.01   1.47   2.34   3.65    5.84    2.11
+V-N1       1.01   1.48   2.35   3.64    5.85    2.11
+V-N2       1.01   1.49   2.37   3.71    6.01    2.17
+N1-N2      1.08   2.39   4.24   7.17   11.38    4.12
+N2-N2      1.07   1.44   2.63   4.57    7.50    2.71
+========  ======  =====  =====  =====  ======  =========
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import (
+    PAPER_THREADS,
+    geomean,
+    run_algorithm,
+    run_sequential_baseline,
+)
+from repro.bench.tables import Experiment
+from repro.core.bgpc import BGPC_ALGORITHMS
+from repro.datasets.registry import bgpc_dataset_names
+
+__all__ = ["run", "speedup_table", "PAPER_TABLE3"]
+
+PAPER_TABLE3 = {
+    "V-V": (1.00, 0.74, 1.24, 1.88, 2.76, 1.00),
+    "V-V-64": (1.01, 0.81, 1.40, 2.36, 4.00, 1.45),
+    "V-V-64D": (1.01, 0.85, 1.46, 2.41, 4.05, 1.47),
+    "V-Ninf": (1.01, 1.47, 2.34, 3.65, 5.84, 2.11),
+    "V-N1": (1.01, 1.48, 2.35, 3.64, 5.85, 2.11),
+    "V-N2": (1.01, 1.49, 2.37, 3.71, 6.01, 2.17),
+    "N1-N2": (1.08, 2.39, 4.24, 7.17, 11.38, 4.12),
+    "N2-N2": (1.07, 1.44, 2.63, 4.57, 7.50, 2.71),
+}
+
+
+def speedup_table(ordering: str, scale: str) -> tuple[list[tuple], dict]:
+    """Rows of (alg, colors-ratio, speedups..., /V-V@16) plus raw data."""
+    names = bgpc_dataset_names()
+    seq = {n: run_sequential_baseline(n, scale, ordering=ordering) for n in names}
+    vv16 = {
+        n: run_algorithm(n, "V-V", 16, scale, ordering=ordering) for n in names
+    }
+    rows = []
+    raw: dict = {}
+    for alg in BGPC_ALGORITHMS:
+        speeds = []
+        for t in PAPER_THREADS:
+            ratio = [
+                seq[n].cycles / run_algorithm(n, alg, t, scale, ordering=ordering).cycles
+                for n in names
+            ]
+            speeds.append(geomean(ratio))
+        colors = geomean(
+            run_algorithm(n, alg, 16, scale, ordering=ordering).num_colors
+            / seq[n].num_colors
+            for n in names
+        )
+        over_vv = geomean(
+            vv16[n].cycles / run_algorithm(n, alg, 16, scale, ordering=ordering).cycles
+            for n in names
+        )
+        rows.append((alg, round(colors, 3), *[round(s, 2) for s in speeds], round(over_vv, 2)))
+        raw[alg] = {"colors": colors, "speedups": speeds, "over_vv16": over_vv}
+    return rows, raw
+
+
+def run(scale: str = "small", threads: int = 16) -> Experiment:
+    """Regenerate Table III (BGPC speedups, natural order)."""
+    rows, raw = speedup_table("natural", scale)
+    lines = ["Paper Table III (colors, t2, t4, t8, t16, /V-V@16):"]
+    for alg, vals in PAPER_TABLE3.items():
+        lines.append(f"  {alg:8s} " + "  ".join(f"{v:5.2f}" for v in vals))
+    n1n2 = raw["N1-N2"]["speedups"][-1]
+    vv = raw["V-V"]["speedups"][-1]
+    lines.append(
+        f"Shape: N1-N2 is {n1n2 / vv:.1f}x the V-V speedup at t=16 "
+        f"(paper: {11.38 / 2.76:.1f}x)."
+    )
+    return Experiment(
+        id="table3",
+        title="BGPC speedups over sequential V-V, natural order (geomean of 8)",
+        header=["alg", "colors/V-V", "t=2", "t=4", "t=8", "t=16", "/V-V@16"],
+        rows=rows,
+        notes="\n".join(lines),
+        data=raw,
+    )

@@ -1,0 +1,103 @@
+"""Terminal plots for the figure experiments (no plotting dependencies).
+
+The environment has no matplotlib, so the harness renders figures as text:
+horizontal bar charts for grouped series (Figure 1), log-scale sparklines
+for the sorted cardinality curves (Figure 3), and per-matrix bar groups for
+the Figure 2 sweeps.  Deterministic, pure string output — snapshot-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["hbar_chart", "log_sparkline", "figure1_chart", "figure3_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart: one ``label │████ value`` line per row.
+
+    Bars scale linearly to ``max_value`` (defaults to the largest value).
+    """
+    if not rows:
+        return "(empty chart)"
+    top = max_value if max_value is not None else max(v for _, v in rows)
+    top = max(top, 1e-12)
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        frac = min(1.0, max(0.0, value / top))
+        cells = frac * width
+        full = int(cells)
+        rem = cells - full
+        bar = "█" * full
+        if full < width and rem > 0:
+            bar += _BLOCKS[int(rem * 8)]
+        lines.append(f"{label.rjust(label_w)} │{bar.ljust(width)}│ {value:g}")
+    return "\n".join(lines)
+
+
+def log_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line log-scale sparkline of a non-negative series.
+
+    Values are resampled to ``width`` points and mapped to eight block
+    heights on a log axis (zeros render as spaces).
+    """
+    values = list(values)
+    if not values:
+        return "(empty series)"
+    # Resample by taking the value at evenly spaced positions.
+    if len(values) > width:
+        sampled = [values[(i * len(values)) // width] for i in range(width)]
+    else:
+        sampled = values
+    positives = [v for v in sampled if v > 0]
+    if not positives:
+        return " " * len(sampled)
+    lo = math.log(min(positives))
+    hi = math.log(max(positives))
+    span = max(hi - lo, 1e-12)
+    marks = "▁▂▃▄▅▆▇█"
+    out = []
+    for v in sampled:
+        if v <= 0:
+            out.append(" ")
+        else:
+            frac = (math.log(v) - lo) / span
+            out.append(marks[min(7, int(frac * 8))])
+    return "".join(out)
+
+
+def figure1_chart(series: Mapping[str, Sequence[tuple[float, float]]]) -> str:
+    """Render the Figure 1 per-round phase breakdown as grouped bars.
+
+    ``series`` maps algorithm name to a list of ``(color, remove)`` cycle
+    pairs per round — exactly ``Experiment.data["series"]`` of ``figure1``.
+    """
+    rows: list[tuple[str, float]] = []
+    for alg, rounds in series.items():
+        for k, (color, remove) in enumerate(rounds):
+            if color == 0 and remove == 0:
+                continue
+            rows.append((f"{alg} r{k + 1} color", float(color)))
+            rows.append((f"{alg} r{k + 1} remove", float(remove)))
+    return hbar_chart(rows)
+
+
+def figure3_chart(curves: Mapping[str, Sequence[float]]) -> str:
+    """Render the Figure 3 sorted cardinality curves as log sparklines."""
+    if not curves:
+        return "(no curves)"
+    label_w = max(len(name) for name in curves)
+    lines = [
+        f"{name.rjust(label_w)} │{log_sparkline(curve)}│ "
+        f"max={int(max(curve)) if len(curve) else 0}"
+        for name, curve in curves.items()
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper reports; no plotting
+dependencies are assumed, so "figures" are rendered as series tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Experiment", "render_table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(header: list[str], rows: list[tuple]) -> str:
+    """Fixed-width ASCII table with a separator under the header."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(header)),
+        "  ".join("-" * widths[k] for k in range(len(header))),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Experiment:
+    """One regenerated table or figure.
+
+    Attributes
+    ----------
+    id:
+        Paper artifact id, e.g. ``"table3"`` or ``"figure1"``.
+    title:
+        Human-readable description.
+    header / rows:
+        The tabular payload (figures are rendered as series tables).
+    notes:
+        Paper-vs-measured commentary surfaced under the table.
+    data:
+        Optional machine-readable extras (raw series for figures).
+    """
+
+    id: str
+    title: str
+    header: list[str]
+    rows: list[tuple]
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = [f"== {self.id}: {self.title} ==", render_table(self.header, self.rows)]
+        if self.notes:
+            out.append(self.notes.rstrip())
+        return "\n".join(out) + "\n"
+
+    def to_csv(self, path) -> None:
+        """Write the rows as a CSV file (for external plotting)."""
+        import csv
+
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.header)
+            writer.writerows(self.rows)

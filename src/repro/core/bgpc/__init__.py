@@ -1,0 +1,10 @@
+"""Bipartite-graph partial coloring (the paper's primary contribution)."""
+
+from repro.core.bgpc.runner import (
+    BGPC_ALGORITHMS,
+    BGPCAdapter,
+    color_bgpc,
+    sequential_bgpc,
+)
+
+__all__ = ["BGPC_ALGORITHMS", "BGPCAdapter", "color_bgpc", "sequential_bgpc"]

@@ -1,0 +1,10 @@
+"""Distance-2 graph coloring (paper Section IV)."""
+
+from repro.core.d2gc.runner import (
+    D2GC_ALGORITHMS,
+    D2GCAdapter,
+    color_d2gc,
+    sequential_d2gc,
+)
+
+__all__ = ["D2GC_ALGORITHMS", "D2GCAdapter", "color_d2gc", "sequential_d2gc"]

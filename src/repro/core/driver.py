@@ -1,0 +1,259 @@
+"""The speculative color → remove iteration driver (paper Algs. 1–3).
+
+One driver serves both problems: a :class:`ProblemAdapter` supplies the four
+phase kernels (vertex/net × color/remove) and the driver wires them into the
+iterate-until-conflict-free loop on a simulated :class:`Machine`, honouring
+an :class:`AlgorithmSpec` that says *which* kernel runs at *which* iteration
+— the paper's ``X-Y`` naming scheme (Section VI):
+
+* coloring is net-based for the first ``spec.net_color_iters`` iterations,
+  vertex-based afterwards;
+* conflict removal is net-based for the first ``spec.net_removal_iters``
+  iterations, vertex-based afterwards;
+* vertex-based removal feeds the next work queue through either the shared
+  atomic queue (ColPack default) or lazy thread-private queues (the ``D``
+  engineering fix);
+* net-based removal resets clashing colors to ``UNCOLORED`` and the next
+  work queue is collected by a cheap vectorized sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.policies import FirstFit
+from repro.errors import ColoringError
+from repro.machine.engine import QUEUE_ATOMIC, QUEUE_PRIVATE
+from repro.machine.machine import Machine
+from repro.machine.scheduler import Schedule
+from repro.types import (
+    ColoringResult,
+    IterationRecord,
+    PhaseKind,
+    UNCOLORED,
+)
+
+__all__ = ["AlgorithmSpec", "ProblemAdapter", "run_speculative", "run_sequential"]
+
+#: Effectively-infinite iteration horizon (the paper's ``∞`` suffix).
+INF_ITERS = 10**9
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Configuration of one named algorithm variant.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"N1-N2"``.
+    chunk:
+        Dynamic-scheduling chunk size (1 for plain ``V-V``, 64 otherwise).
+    queue_mode:
+        ``"atomic"`` (immediate shared queue) or ``"private"`` (lazy
+        thread-private queues, the ``D`` variants) — only relevant for
+        vertex-based removal iterations.
+    net_color_iters:
+        Number of leading iterations that use net-based coloring (Alg. 8).
+    net_removal_iters:
+        Number of leading iterations that use net-based removal (Alg. 7);
+        ``INF_ITERS`` reproduces ``V-N∞``.
+    """
+
+    name: str
+    chunk: int = 64
+    queue_mode: str = QUEUE_PRIVATE
+    net_color_iters: int = 0
+    net_removal_iters: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunk < 1:
+            raise ColoringError(f"chunk must be >= 1, got {self.chunk}")
+        if self.queue_mode not in (QUEUE_ATOMIC, QUEUE_PRIVATE):
+            raise ColoringError(f"bad queue mode {self.queue_mode!r}")
+        if self.net_color_iters < 0 or self.net_removal_iters < 0:
+            raise ColoringError("iteration horizons must be non-negative")
+        # Net-based coloring finds its work by c[u] == UNCOLORED, so every
+        # net-coloring iteration after the first must follow a net-based
+        # removal (which resets losers to UNCOLORED).  Vertex-based removal
+        # only queues losers without resetting them, which would starve a
+        # subsequent net-coloring pass.
+        if self.net_color_iters > self.net_removal_iters + 1:
+            raise ColoringError(
+                f"{self.name}: net_color_iters ({self.net_color_iters}) may "
+                f"exceed net_removal_iters ({self.net_removal_iters}) by at "
+                "most 1 — net coloring must follow a net-based removal"
+            )
+
+
+class ProblemAdapter(Protocol):
+    """What a problem (BGPC / D2GC) must provide to the driver."""
+
+    #: Number of vertices to color (|V_A| for BGPC, |V| for D2GC).
+    n_targets: int
+    #: Number of tasks in a net-based phase (|V_B| for BGPC, |V| for D2GC).
+    n_nets: int
+
+    def make_vertex_color_kernel(self, policy) -> Callable: ...
+
+    def make_net_color_kernel(self, policy) -> Callable: ...
+
+    def make_vertex_removal_kernel(self) -> Callable: ...
+
+    def make_net_removal_kernel(self) -> Callable: ...
+
+
+def run_speculative(
+    adapter: ProblemAdapter,
+    spec: AlgorithmSpec,
+    threads: int,
+    cost=None,
+    policy=None,
+    max_iterations: int = 200,
+) -> ColoringResult:
+    """Run the full speculative loop of ``spec`` on a ``threads``-core machine.
+
+    ``policy`` selects the color-choice heuristic for vertex-based coloring
+    and, when it is B1/B2, also replaces the reverse-first-fit cursor inside
+    net-based coloring (the paper's "net-based variants are also similar").
+    ``None`` or :class:`FirstFit` keeps the paper's default behaviour.
+
+    Raises :class:`ColoringError` if the loop fails to converge within
+    ``max_iterations`` rounds (cannot happen for the paper's specs on finite
+    graphs, but guards pathological custom kernels).
+    """
+    machine = Machine(threads, cost)
+    machine.reset_thread_states()
+    colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+    memory = machine.make_memory(colors)
+    schedule = Schedule.dynamic(spec.chunk)
+
+    vertex_policy = policy if policy is not None else FirstFit()
+    net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
+
+    vertex_color = adapter.make_vertex_color_kernel(vertex_policy)
+    net_color = adapter.make_net_color_kernel(net_policy)
+    vertex_remove = adapter.make_vertex_removal_kernel()
+    net_remove = adapter.make_net_removal_kernel()
+
+    work = np.arange(adapter.n_targets, dtype=np.int64)
+    records: list[IterationRecord] = []
+    iteration = 0
+
+    while work.size:
+        if iteration >= max_iterations:
+            raise ColoringError(
+                f"{spec.name} did not converge in {max_iterations} iterations "
+                f"({work.size} vertices still queued)"
+            )
+        # ---- coloring phase -------------------------------------------------
+        if iteration < spec.net_color_iters:
+            color_timing, _ = machine.parallel_for(
+                adapter.n_nets,
+                net_color,
+                memory,
+                schedule=schedule,
+                phase_kind=PhaseKind.COLOR,
+            )
+        else:
+            color_timing, _ = machine.parallel_for(
+                work.size,
+                vertex_color,
+                memory,
+                schedule=schedule,
+                phase_kind=PhaseKind.COLOR,
+                task_ids=work,
+            )
+        # ---- conflict-removal phase ------------------------------------------
+        if iteration < spec.net_removal_iters:
+            remove_timing, _ = machine.parallel_for(
+                adapter.n_nets,
+                net_remove,
+                memory,
+                schedule=schedule,
+                phase_kind=PhaseKind.REMOVE,
+                extra_wall=machine.parallel_scan_cost(adapter.n_targets),
+            )
+            next_work = np.nonzero(memory.values == UNCOLORED)[0].astype(np.int64)
+        else:
+            remove_timing, queued = machine.parallel_for(
+                work.size,
+                vertex_remove,
+                memory,
+                schedule=schedule,
+                queue_mode=spec.queue_mode,
+                phase_kind=PhaseKind.REMOVE,
+                task_ids=work,
+            )
+            next_work = np.asarray(queued, dtype=np.int64)
+
+        records.append(
+            IterationRecord(
+                index=iteration,
+                queue_size=int(work.size),
+                conflicts=int(next_work.size),
+                color_timing=color_timing,
+                remove_timing=remove_timing,
+            )
+        )
+        work = next_work
+        iteration += 1
+
+    final = memory.snapshot()
+    if final.size and final.min() < 0:
+        raise ColoringError(
+            f"{spec.name} finished with {int((final < 0).sum())} uncolored vertices"
+        )
+    return ColoringResult(
+        colors=final,
+        num_colors=int(final.max()) + 1 if final.size else 0,
+        iterations=records,
+        algorithm=spec.name,
+        threads=threads,
+        cycles=machine.trace.total_cycles,
+    )
+
+
+def run_sequential(
+    adapter: ProblemAdapter,
+    cost=None,
+    policy=None,
+    name: str = "sequential",
+) -> ColoringResult:
+    """Sequential greedy baseline: one thread, one pass, no verification.
+
+    The paper's Table II notes that sequential executions skip the conflict
+    detection phase entirely; we reproduce that by running the vertex-based
+    coloring kernel once, statically scheduled on one thread (no chunk fees,
+    no races).
+    """
+    machine = Machine(1, cost)
+    colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+    memory = machine.make_memory(colors)
+    kernel = adapter.make_vertex_color_kernel(policy if policy is not None else FirstFit())
+    timing, _ = machine.parallel_for(
+        adapter.n_targets,
+        kernel,
+        memory,
+        schedule=Schedule.static(),
+        phase_kind=PhaseKind.COLOR,
+    )
+    final = memory.snapshot()
+    record = IterationRecord(
+        index=0,
+        queue_size=adapter.n_targets,
+        conflicts=0,
+        color_timing=timing,
+        remove_timing=None,
+    )
+    return ColoringResult(
+        colors=final,
+        num_colors=int(final.max()) + 1 if final.size else 0,
+        iterations=[record],
+        algorithm=name,
+        threads=1,
+        cycles=machine.trace.total_cycles,
+    )

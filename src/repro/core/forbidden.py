@@ -1,0 +1,112 @@
+"""Marker-based forbidden-color set.
+
+The paper's implementation notes (end of Section III): the forbidden-color
+structure is allocated once per thread and *never reset* — each use stamps
+entries with a fresh marker value, so membership is "``mark[color] ==
+current_stamp``".  This class reproduces that trick with a numpy marker
+array, giving O(1) insert/test and O(k) bulk insert with zero clearing cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ForbiddenSet"]
+
+
+class ForbiddenSet:
+    """A reusable forbidden-color set over the color ids ``[0, capacity)``.
+
+    Parameters
+    ----------
+    capacity:
+        Initial number of representable colors; the set grows automatically
+        if a larger color is inserted (growth doubles, amortized O(1)).
+
+    Usage
+    -----
+    >>> F = ForbiddenSet(8)
+    >>> F.begin()            # start a fresh (conceptually empty) set
+    >>> F.add(3); 3 in F
+    True
+    >>> F.begin(); 3 in F    # new stamp: set is empty again, no clearing
+    False
+    """
+
+    __slots__ = ("_mark", "_stamp", "probes")
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            capacity = 1
+        self._mark = np.zeros(capacity, dtype=np.int64)
+        # Start at 1 so the zero-initialized marker array means "empty"
+        # even before the first begin().
+        self._stamp = 1
+        #: Number of membership probes since construction (cost accounting).
+        self.probes = 0
+
+    @property
+    def capacity(self) -> int:
+        return int(self._mark.size)
+
+    def begin(self) -> None:
+        """Start a new (empty) set by bumping the stamp — O(1), no memset."""
+        self._stamp += 1
+
+    def _ensure(self, color: int) -> None:
+        if color >= self._mark.size:
+            new_size = max(color + 1, self._mark.size * 2)
+            grown = np.zeros(new_size, dtype=np.int64)
+            grown[: self._mark.size] = self._mark
+            self._mark = grown
+
+    def add(self, color: int) -> None:
+        """Insert one non-negative color."""
+        self._ensure(color)
+        self._mark[color] = self._stamp
+
+    def add_many(self, colors: np.ndarray) -> None:
+        """Insert a batch of non-negative colors (vectorized)."""
+        if colors.size == 0:
+            return
+        top = int(colors.max())
+        self._ensure(top)
+        self._mark[colors] = self._stamp
+
+    def contains(self, color: int) -> bool:
+        """Membership test; colors beyond capacity are never members."""
+        self.probes += 1
+        if color >= self._mark.size or color < 0:
+            return False
+        return self._mark[color] == self._stamp
+
+    __contains__ = contains
+
+    # -- scan helpers (the first-fit inner loops of Algs. 2, 6, 8) ---------
+
+    def first_fit(self, start: int = 0) -> tuple[int, int]:
+        """Smallest non-forbidden color ``>= start``.
+
+        Returns ``(color, steps)`` where ``steps`` counts the probes taken,
+        for cycle accounting.
+        """
+        col = start
+        steps = 1
+        while self.contains(col):
+            col += 1
+            steps += 1
+        return col, steps
+
+    def reverse_first_fit(self, start: int) -> tuple[int, int]:
+        """Largest non-forbidden color ``<= start`` (may return -1).
+
+        Returns ``(color, steps)``; a -1 color means the whole range
+        ``[0, start]`` was forbidden and the caller must fall back (the
+        safety check of Alg. 11 line 8).
+        """
+        col = start
+        steps = 1
+        while col >= 0 and self.contains(col):
+            col -= 1
+            steps += 1
+        return col, steps

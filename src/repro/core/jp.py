@@ -1,0 +1,214 @@
+"""Jones–Plassmann independent-set coloring — the pre-speculative baseline.
+
+The paper's related-work section (§VII) contrasts its speculative approach
+with the earlier family of parallel colorers built on maximal independent
+sets (Luby; Jones & Plassmann): assign every vertex a random priority; each
+round, the vertices whose priority beats all their *uncolored* conflict
+neighbours color themselves greedily.  No conflicts can occur (priorities
+are distinct, so of any adjacent pair at most one is a local maximum), at
+the price of many more rounds and of re-scanning deferred vertices every
+round — which is exactly why the speculative algorithms win and why this
+baseline is worth having next to them.
+
+Both problem flavours are provided: BGPC (priorities over ``V_A``, conflict
+neighbourhood = two-hop) and D2GC (closed two-hop neighbourhood).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bgpc.vertex import color_upper_bound, thread_forbidden
+from repro.core.d2gc.vertex import d2gc_color_upper_bound
+from repro.errors import ColoringError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.unipartite import Graph
+from repro.machine.cost import CostModel
+from repro.machine.machine import Machine
+from repro.machine.scheduler import Schedule
+from repro.types import (
+    ColoringResult,
+    IterationRecord,
+    PhaseKind,
+    UNCOLORED,
+)
+
+__all__ = ["jones_plassmann_bgpc", "jones_plassmann_d2gc"]
+
+
+def _jp_kernel_factory(entries_of, priorities, capacity, cost: CostModel):
+    """Shared JP round kernel: defer to higher-priority uncolored neighbours,
+    otherwise first-fit against the colored ones."""
+    edge, forbid, write = cost.edge_cost, cost.forbid_cost, cost.write_cost
+
+    def kernel(w: int, ctx) -> None:
+        entries = entries_of(w)
+        colors = ctx.colors
+        cvals = colors[entries]
+        mine = priorities[w]
+        others = entries != w
+        uncolored = (cvals < 0) & others
+        ctx.charge_mem(int(entries.size + 1) * edge)
+        if np.any(priorities[entries[uncolored]] > mine):
+            ctx.charge_cpu(int(entries.size) * forbid)
+            return  # defer: a higher-priority neighbour colors first
+        forb = thread_forbidden(ctx.thread_state, capacity)
+        forb.begin()
+        mask = (cvals >= 0) & others
+        forb.add_many(cvals[mask])
+        col, steps = forb.first_fit()
+        ctx.write(w, col)
+        ctx.charge_mem(write)
+        ctx.charge_cpu((int(entries.size) + steps) * forbid)
+
+    return kernel
+
+
+def _run_jp(
+    n_targets: int,
+    entries_of,
+    capacity: int,
+    threads: int,
+    cost: CostModel,
+    seed: int,
+    chunk: int,
+    max_rounds: int,
+    name: str,
+) -> ColoringResult:
+    rng = np.random.default_rng(seed)
+    priorities = rng.permutation(n_targets).astype(np.int64)
+    machine = Machine(threads, cost)
+    memory = machine.make_memory(np.full(n_targets, UNCOLORED, dtype=np.int64))
+    kernel = _jp_kernel_factory(entries_of, priorities, capacity, cost)
+    schedule = Schedule.dynamic(chunk)
+    work = np.arange(n_targets, dtype=np.int64)
+    records: list[IterationRecord] = []
+    rounds = 0
+    while work.size:
+        if rounds >= max_rounds:
+            raise ColoringError(
+                f"{name} did not converge in {max_rounds} rounds "
+                f"({work.size} vertices uncolored)"
+            )
+        timing, _ = machine.parallel_for(
+            work.size,
+            kernel,
+            memory,
+            schedule=schedule,
+            phase_kind=PhaseKind.COLOR,
+            task_ids=work,
+            extra_wall=machine.parallel_scan_cost(work.size),
+        )
+        next_work = work[memory.values[work] == UNCOLORED]
+        records.append(
+            IterationRecord(
+                index=rounds,
+                queue_size=int(work.size),
+                conflicts=int(next_work.size),  # deferred, not conflicting
+                color_timing=timing,
+                remove_timing=None,
+            )
+        )
+        work = next_work
+        rounds += 1
+    final = memory.snapshot()
+    return ColoringResult(
+        colors=final,
+        num_colors=int(final.max()) + 1 if final.size else 0,
+        iterations=records,
+        algorithm=name,
+        threads=threads,
+        cycles=machine.trace.total_cycles,
+    )
+
+
+def jones_plassmann_bgpc(
+    bg: BipartiteGraph,
+    threads: int = 16,
+    cost: CostModel | None = None,
+    seed: int = 0,
+    chunk: int = 64,
+    max_rounds: int = 10_000,
+) -> ColoringResult:
+    """Jones–Plassmann BGPC over the two-hop conflict structure.
+
+    Guaranteed conflict-free by construction; typically needs many more
+    rounds than the speculative algorithms (each with a full scan of the
+    still-uncolored vertices), which is the trade-off the paper's approach
+    removes.
+    """
+    from repro.graph.twohop import bgpc_twohop
+
+    cost = cost if cost is not None else CostModel()
+    two = bgpc_twohop(bg)
+    if two is not None:
+        tptr, tidx = two.ptr, two.idx
+
+        def entries_of(w: int) -> np.ndarray:
+            return tidx[tptr[w] : tptr[w + 1]]
+
+    else:
+        vptr, vidx = bg.vtx_to_nets.ptr, bg.vtx_to_nets.idx
+        nptr, nidx = bg.net_to_vtxs.ptr, bg.net_to_vtxs.idx
+
+        def entries_of(w: int) -> np.ndarray:
+            chunks = [
+                nidx[nptr[v] : nptr[v + 1]] for v in vidx[vptr[w] : vptr[w + 1]]
+            ]
+            if not chunks:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(chunks)
+
+    return _run_jp(
+        bg.num_vertices,
+        entries_of,
+        color_upper_bound(bg),
+        threads,
+        cost,
+        seed,
+        chunk,
+        max_rounds,
+        "JP",
+    )
+
+
+def jones_plassmann_d2gc(
+    g: Graph,
+    threads: int = 16,
+    cost: CostModel | None = None,
+    seed: int = 0,
+    chunk: int = 64,
+    max_rounds: int = 10_000,
+) -> ColoringResult:
+    """Jones–Plassmann distance-2 coloring over closed two-hop structures."""
+    from repro.graph.twohop import d2gc_twohop
+
+    cost = cost if cost is not None else CostModel()
+    two = d2gc_twohop(g)
+    ptr_a, idx_a = g.adj.ptr, g.adj.idx
+    if two is not None:
+        tptr, tidx = two.ptr, two.idx
+
+        def entries_of(w: int) -> np.ndarray:
+            return tidx[tptr[w] : tptr[w + 1]]
+
+    else:
+
+        def entries_of(w: int) -> np.ndarray:
+            ring1 = idx_a[ptr_a[w] : ptr_a[w + 1]]
+            chunks = [ring1] + [
+                idx_a[ptr_a[u] : ptr_a[u + 1]] for u in ring1
+            ]
+            return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+
+    return _run_jp(
+        g.num_vertices,
+        entries_of,
+        d2gc_color_upper_bound(g),
+        threads,
+        cost,
+        seed,
+        chunk,
+        max_rounds,
+        "JP-D2",
+    )

@@ -1,0 +1,86 @@
+"""Color-class statistics (paper Table VI and Figure 3).
+
+The balancing experiments measure the *cardinality profile* of the color
+classes: how many vertices each color holds, the mean/std of that
+distribution, and its sorted curve.  This module computes those from a
+finished color array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ColoringError
+from repro.types import ColorStats, UNCOLORED
+
+__all__ = [
+    "color_cardinalities",
+    "color_stats",
+    "sorted_cardinality_curve",
+    "skewness",
+    "tiny_class_count",
+]
+
+
+def color_cardinalities(colors: np.ndarray) -> np.ndarray:
+    """Vertices per color, indexed by color id.
+
+    Raises :class:`ColoringError` if any vertex is uncolored — statistics
+    on partial colorings are not meaningful for the balancing study.
+    """
+    colors = np.asarray(colors)
+    if colors.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if colors.min() <= UNCOLORED:
+        raise ColoringError("cannot compute cardinalities of a partial coloring")
+    return np.bincount(colors).astype(np.int64)
+
+
+def color_stats(colors: np.ndarray) -> ColorStats:
+    """Full cardinality statistics of a complete coloring."""
+    card = color_cardinalities(colors)
+    if card.size == 0:
+        return ColorStats(
+            num_colors=0, cardinalities=card, mean=0.0, std=0.0, min=0, max=0
+        )
+    return ColorStats(
+        num_colors=int(card.size),
+        cardinalities=card,
+        mean=float(card.mean()),
+        std=float(card.std()),
+        min=int(card.min()),
+        max=int(card.max()),
+    )
+
+
+def sorted_cardinality_curve(colors: np.ndarray) -> np.ndarray:
+    """Cardinalities sorted non-increasingly — the Figure 3 series."""
+    card = color_cardinalities(colors)
+    return np.sort(card)[::-1].copy()
+
+
+def skewness(colors: np.ndarray) -> float:
+    """Fisher skewness of the cardinality distribution (0 == symmetric).
+
+    The paper motivates B1/B2 by the heavy skew first-fit produces ("a few
+    large color sets ... and thousands with less than 2 elements").
+    """
+    card = color_cardinalities(colors).astype(np.float64)
+    if card.size < 2:
+        return 0.0
+    mean = card.mean()
+    std = card.std()
+    if std == 0:
+        return 0.0
+    return float(np.mean(((card - mean) / std) ** 3))
+
+
+def tiny_class_count(colors: np.ndarray, threshold: int = 2) -> int:
+    """Number of color classes with fewer than ``threshold`` vertices.
+
+    Tiny classes are the parallelization hazard the balancing section
+    targets: a color set smaller than the core count cannot feed the
+    machine.
+    """
+    card = color_cardinalities(colors)
+    return int(np.count_nonzero(card < threshold))

@@ -1,0 +1,182 @@
+"""Validity checking for BGPC and D2GC colorings.
+
+These are the reference oracles the test suite and the iteration drivers'
+postconditions rely on.  They are vectorized per net / per middle vertex and
+independent of the kernels they check (the kernels never call them).
+
+Validity definitions (paper §I–II):
+
+* **BGPC** — every pair of ``V_A`` vertices adjacent to a common ``V_B``
+  net has distinct colors, i.e. within every ``vtxs(v)`` all colors differ.
+* **D2GC** — every pair of vertices at shortest-path distance ≤ 2 has
+  distinct colors; equivalently, for every *middle* vertex ``m`` the colors
+  of ``{m} ∪ nbor(m)`` are pairwise distinct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidColoringError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.unipartite import Graph
+from repro.types import UNCOLORED
+
+__all__ = [
+    "validate_bgpc",
+    "validate_d2gc",
+    "is_valid_bgpc",
+    "is_valid_d2gc",
+    "find_bgpc_conflict",
+    "find_d2gc_conflict",
+    "count_bgpc_conflict_vertices",
+    "count_d2gc_conflict_vertices",
+]
+
+
+def _check_complete(colors: np.ndarray, n: int) -> None:
+    if colors.shape != (n,):
+        raise InvalidColoringError(
+            f"color array has shape {colors.shape}, expected ({n},)"
+        )
+    uncolored = np.nonzero(colors == UNCOLORED)[0]
+    if uncolored.size:
+        raise InvalidColoringError(
+            f"{uncolored.size} vertices uncolored (first: {uncolored[0]})"
+        )
+    if colors.size and colors.min() < 0:
+        bad = int(np.argmin(colors))
+        raise InvalidColoringError(f"negative color {colors[bad]} at vertex {bad}")
+
+
+def find_bgpc_conflict(
+    bg: BipartiteGraph, colors: np.ndarray
+) -> tuple[int, int, int] | None:
+    """First BGPC conflict ``(u, w, net)`` with ``u < w``, or ``None``.
+
+    Vertices still carrying ``UNCOLORED`` are skipped, so this can be used
+    on partial colorings (as after a conflict-removal phase).
+    """
+    n2v = bg.net_to_vtxs
+    for v, members in n2v.iter_rows():
+        cvals = colors[members]
+        mask = cvals != UNCOLORED
+        vals = cvals[mask]
+        if vals.size < 2:
+            continue
+        order = np.argsort(vals, kind="stable")
+        sorted_vals = vals[order]
+        dup = np.nonzero(sorted_vals[1:] == sorted_vals[:-1])[0]
+        if dup.size:
+            who = members[mask][order]
+            a, b = int(who[dup[0]]), int(who[dup[0] + 1])
+            return (min(a, b), max(a, b), int(v))
+    return None
+
+
+def validate_bgpc(bg: BipartiteGraph, colors: np.ndarray) -> None:
+    """Raise :class:`InvalidColoringError` unless ``colors`` solves BGPC."""
+    _check_complete(colors, bg.num_vertices)
+    conflict = find_bgpc_conflict(bg, colors)
+    if conflict is not None:
+        u, w, v = conflict
+        raise InvalidColoringError(
+            f"vertices {u} and {w} share net {v} but both have color {colors[u]}",
+            conflict=conflict,
+        )
+
+
+def is_valid_bgpc(bg: BipartiteGraph, colors: np.ndarray) -> bool:
+    """Boolean form of :func:`validate_bgpc`."""
+    try:
+        validate_bgpc(bg, colors)
+    except InvalidColoringError:
+        return False
+    return True
+
+
+def count_bgpc_conflict_vertices(bg: BipartiteGraph, colors: np.ndarray) -> int:
+    """Number of vertices involved in at least one same-net color clash.
+
+    Uncolored vertices are ignored.  Used to measure optimism damage after
+    a speculative coloring phase (paper Table I counts the vertices left
+    uncolored *after* removal, which equals the clash losers; this counts
+    all clash participants).
+    """
+    involved = np.zeros(bg.num_vertices, dtype=bool)
+    for _, members in bg.net_to_vtxs.iter_rows():
+        cvals = colors[members]
+        mask = cvals != UNCOLORED
+        vals = cvals[mask]
+        if vals.size < 2:
+            continue
+        uniq, counts = np.unique(vals, return_counts=True)
+        dup_colors = uniq[counts > 1]
+        if dup_colors.size:
+            clash = np.isin(cvals, dup_colors) & mask
+            involved[members[clash]] = True
+    return int(involved.sum())
+
+
+# -- D2GC --------------------------------------------------------------------
+
+
+def find_d2gc_conflict(g: Graph, colors: np.ndarray) -> tuple[int, int, int] | None:
+    """First D2GC conflict ``(u, w, middle)`` with ``u < w``, or ``None``."""
+    adj = g.adj
+    for m in range(g.num_vertices):
+        group = np.concatenate(([m], adj.row(m)))
+        cvals = colors[group]
+        mask = cvals != UNCOLORED
+        vals = cvals[mask]
+        if vals.size < 2:
+            continue
+        order = np.argsort(vals, kind="stable")
+        sorted_vals = vals[order]
+        dup = np.nonzero(sorted_vals[1:] == sorted_vals[:-1])[0]
+        if dup.size:
+            who = group[mask][order]
+            a, b = int(who[dup[0]]), int(who[dup[0] + 1])
+            return (min(a, b), max(a, b), int(m))
+    return None
+
+
+def validate_d2gc(g: Graph, colors: np.ndarray) -> None:
+    """Raise :class:`InvalidColoringError` unless ``colors`` solves D2GC."""
+    _check_complete(colors, g.num_vertices)
+    conflict = find_d2gc_conflict(g, colors)
+    if conflict is not None:
+        u, w, m = conflict
+        raise InvalidColoringError(
+            f"vertices {u} and {w} are within distance 2 (middle {m}) "
+            f"but both have color {colors[u]}",
+            conflict=conflict,
+        )
+
+
+def is_valid_d2gc(g: Graph, colors: np.ndarray) -> bool:
+    """Boolean form of :func:`validate_d2gc`."""
+    try:
+        validate_d2gc(g, colors)
+    except InvalidColoringError:
+        return False
+    return True
+
+
+def count_d2gc_conflict_vertices(g: Graph, colors: np.ndarray) -> int:
+    """Number of vertices in at least one distance-≤2 color clash."""
+    involved = np.zeros(g.num_vertices, dtype=bool)
+    adj = g.adj
+    for m in range(g.num_vertices):
+        group = np.concatenate(([m], adj.row(m)))
+        cvals = colors[group]
+        mask = cvals != UNCOLORED
+        vals = cvals[mask]
+        if vals.size < 2:
+            continue
+        uniq, counts = np.unique(vals, return_counts=True)
+        dup_colors = uniq[counts > 1]
+        if dup_colors.size:
+            clash = np.isin(cvals, dup_colors) & mask
+            involved[group[clash]] = True
+    return int(involved.sum())

@@ -1,0 +1,49 @@
+"""Synthetic workload generators standing in for the paper's UFL matrices.
+
+No network access is available, so each of the eight instances of paper
+Table II is replaced by a seeded synthetic generator reproducing the
+structural traits that drive the coloring results (see DESIGN.md,
+Substitution 2).  Real ``.mtx`` files, when available, can be loaded with
+:func:`repro.graph.read_matrix_market` instead and fed to the same
+experiments.
+"""
+
+from repro.datasets.synthetic import (
+    movielens_like,
+    shell_mesh,
+    stencil3d,
+    channel_mesh,
+    copapers_like,
+    cfd_like,
+    kkt_like,
+    web_like,
+    random_bipartite,
+    random_graph,
+)
+from repro.datasets.registry import (
+    DatasetSpec,
+    PAPER_DATASETS,
+    DATASETS,
+    load_dataset,
+    bgpc_dataset_names,
+    d2gc_dataset_names,
+)
+
+__all__ = [
+    "movielens_like",
+    "shell_mesh",
+    "stencil3d",
+    "channel_mesh",
+    "copapers_like",
+    "cfd_like",
+    "kkt_like",
+    "web_like",
+    "random_bipartite",
+    "random_graph",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "DATASETS",
+    "load_dataset",
+    "bgpc_dataset_names",
+    "d2gc_dataset_names",
+]

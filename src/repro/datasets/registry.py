@@ -1,0 +1,206 @@
+"""The named instance registry mirroring paper Table II.
+
+Each :class:`DatasetSpec` maps a paper matrix to its synthetic stand-in at
+three scales:
+
+* ``tiny``   — seconds-fast instances for the test suite;
+* ``small``  — the default benchmark scale (full harness in minutes);
+* ``medium`` — larger runs for users with time to spare.
+
+Instances are cached per ``(name, scale)`` because the benchmark harness
+loads the same graphs for several experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.datasets import synthetic
+from repro.errors import DatasetError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.ops import bipartite_to_graph
+from repro.graph.unipartite import Graph
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "DATASETS",
+    "load_dataset",
+    "load_d2gc_dataset",
+    "bgpc_dataset_names",
+    "d2gc_dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named instance of the test bed.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also used in benchmark output rows).
+    paper_name:
+        The UFL/collection matrix this stands in for.
+    generator:
+        Function from :mod:`repro.datasets.synthetic`.
+    params:
+        Per-scale keyword arguments: ``{"tiny": {...}, "small": {...},
+        "medium": {...}}``.
+    d2gc:
+        Whether the instance joins the D2GC experiments (paper Table II
+        last column — the structurally symmetric five).
+    """
+
+    name: str
+    paper_name: str
+    generator: Callable[..., BipartiteGraph]
+    params: dict
+    d2gc: bool
+
+    def build(self, scale: str = "small") -> BipartiteGraph:
+        """Generate this instance at the requested scale."""
+        if scale not in self.params:
+            raise DatasetError(
+                f"dataset {self.name!r} has no scale {scale!r}; "
+                f"choose from {sorted(self.params)}"
+            )
+        return self.generator(**self.params[scale])
+
+
+PAPER_DATASETS: tuple[DatasetSpec, ...] = (
+    DatasetSpec(
+        name="movielens",
+        paper_name="20M_movielens",
+        generator=synthetic.movielens_like,
+        params={
+            "tiny": dict(num_nets=80, num_vertices=260, avg_net_size=8,
+                         max_net_size=120, seed=20),
+            "small": dict(num_nets=1200, num_vertices=4800, avg_net_size=24,
+                          max_net_size=2200, seed=20),
+            "medium": dict(num_nets=2500, num_vertices=9000, avg_net_size=32,
+                           max_net_size=4200, seed=20),
+        },
+        d2gc=False,
+    ),
+    DatasetSpec(
+        name="af_shell",
+        paper_name="af_shell10",
+        generator=synthetic.shell_mesh,
+        params={
+            "tiny": dict(nx=12, ny=11),
+            "small": dict(nx=70, ny=68),
+            "medium": dict(nx=90, ny=80),
+        },
+        d2gc=True,
+    ),
+    DatasetSpec(
+        name="bone",
+        paper_name="bone010",
+        generator=synthetic.stencil3d,
+        params={
+            "tiny": dict(nx=6, ny=5, nz=5),
+            "small": dict(nx=18, ny=15, nz=14),
+            "medium": dict(nx=22, ny=18, nz=18),
+        },
+        d2gc=True,
+    ),
+    DatasetSpec(
+        name="channel",
+        paper_name="channel-500x100x100-b050",
+        generator=synthetic.channel_mesh,
+        params={
+            "tiny": dict(nx=7, ny=5, nz=5),
+            "small": dict(nx=20, ny=16, nz=15),
+            "medium": dict(nx=24, ny=16, nz=16),
+        },
+        d2gc=True,
+    ),
+    DatasetSpec(
+        name="copapers",
+        paper_name="coPapersDBLP",
+        generator=synthetic.copapers_like,
+        params={
+            "tiny": dict(num_vertices=240, num_cliques=60, max_clique=24, seed=7),
+            "small": dict(num_vertices=4800, num_cliques=1100, max_clique=64, seed=7),
+            "medium": dict(num_vertices=12000, num_cliques=2600, max_clique=160, seed=7),
+        },
+        d2gc=True,
+    ),
+    DatasetSpec(
+        name="cfd",
+        paper_name="HV15R",
+        generator=synthetic.cfd_like,
+        params={
+            "tiny": dict(num_vertices=150, block=12, extra_links=1, seed=15),
+            "small": dict(num_vertices=3000, block=30, extra_links=1, seed=15),
+            "medium": dict(num_vertices=9000, block=48, extra_links=2, seed=15),
+        },
+        d2gc=False,
+    ),
+    DatasetSpec(
+        name="kkt",
+        paper_name="nlpkkt120",
+        generator=synthetic.kkt_like,
+        params={
+            "tiny": dict(grid=(5, 5, 4), num_constraints=60,
+                         vars_per_constraint=4, seed=3),
+            "small": dict(grid=(14, 12, 11), num_constraints=900,
+                          vars_per_constraint=6, seed=3),
+            "medium": dict(grid=(16, 15, 14), num_constraints=2000,
+                           vars_per_constraint=8, seed=3),
+        },
+        d2gc=True,
+    ),
+    DatasetSpec(
+        name="web",
+        paper_name="uk-2002",
+        generator=synthetic.web_like,
+        params={
+            "tiny": dict(num_vertices=260, avg_degree=5, max_degree=50, seed=27),
+            "small": dict(num_vertices=5200, avg_degree=7, max_degree=260, seed=27),
+            "medium": dict(num_vertices=9000, avg_degree=10, max_degree=900, seed=27),
+        },
+        d2gc=False,
+    ),
+)
+
+DATASETS: dict[str, DatasetSpec] = {spec.name: spec for spec in PAPER_DATASETS}
+
+
+@lru_cache(maxsize=64)
+def load_dataset(name: str, scale: str = "small") -> BipartiteGraph:
+    """Build (and cache) a named BGPC instance."""
+    if name not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        )
+    return DATASETS[name].build(scale)
+
+
+@lru_cache(maxsize=64)
+def load_d2gc_dataset(name: str, scale: str = "small") -> Graph:
+    """Build (and cache) a named D2GC instance (symmetric datasets only)."""
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        )
+    if not spec.d2gc:
+        raise DatasetError(
+            f"dataset {name!r} ({spec.paper_name}) is not structurally "
+            "symmetric and is excluded from the D2GC experiments"
+        )
+    return bipartite_to_graph(load_dataset(name, scale))
+
+
+def bgpc_dataset_names() -> tuple[str, ...]:
+    """All eight instance names (the BGPC test bed)."""
+    return tuple(spec.name for spec in PAPER_DATASETS)
+
+
+def d2gc_dataset_names() -> tuple[str, ...]:
+    """The five structurally symmetric instance names (D2GC test bed)."""
+    return tuple(spec.name for spec in PAPER_DATASETS if spec.d2gc)

@@ -1,0 +1,392 @@
+"""Seeded synthetic graph generators.
+
+Each ``*_like`` generator mimics one matrix family from the paper's test
+bed (Table II) at a container-friendly scale.  What matters for the
+reproduction is not the absolute size but the *structural trait* each
+family contributes:
+
+============  ==========================================================
+Generator     Trait (and the paper matrix it stands in for)
+============  ==========================================================
+movielens     rectangular, heavy-tailed net sizes (20M_movielens)
+shell_mesh    low, bounded degrees, 2-D shell FEM (af_shell10)
+stencil3d     3-D 27-point stencil (bone010)
+channel_mesh  perfectly regular 18-point stencil (channel-500x100x100-b050)
+copapers      clique-heavy social network, huge max degree (coPapersDBLP)
+cfd_like      unsymmetric CFD with dense row blocks (HV15R)
+kkt_like      symmetric KKT two-block optimization structure (nlpkkt120)
+web_like      power-law web crawl (uk-2002)
+============  ==========================================================
+
+All generators are deterministic given their seed, return a
+:class:`BipartiteGraph` (rows = nets, columns = vertices to color) and keep
+square generators structurally symmetric when the paper's counterpart is,
+so the same instance serves the D2GC experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import csr_from_edges, graph_from_edges
+from repro.graph.unipartite import Graph
+
+__all__ = [
+    "movielens_like",
+    "shell_mesh",
+    "stencil3d",
+    "channel_mesh",
+    "copapers_like",
+    "cfd_like",
+    "kkt_like",
+    "web_like",
+    "random_bipartite",
+    "random_graph",
+]
+
+
+def _bipartite(rows: np.ndarray, cols: np.ndarray, nrows: int, ncols: int) -> BipartiteGraph:
+    net_to_vtxs = csr_from_edges(
+        rows.astype(np.int64), cols.astype(np.int64), nrows, ncols
+    )
+    return BipartiteGraph.from_net_to_vtxs(net_to_vtxs)
+
+
+def _symmetric_bipartite(
+    us: np.ndarray, vs: np.ndarray, n: int, scatter_seed: int | None = None
+) -> BipartiteGraph:
+    """Square symmetric pattern (with unit diagonal) from undirected edges.
+
+    ``scatter_seed`` relabels the vertices with a seeded permutation.  The
+    grid generators use it because a perfect row-major sweep is an
+    unrealistically good greedy order — real UFL matrices carry the
+    scattered numbering of their mesh generators, which is what makes the
+    paper's "natural" order behave like a mildly shuffled one.
+    """
+    if scatter_seed is not None:
+        perm = np.random.default_rng(scatter_seed).permutation(n).astype(np.int64)
+        us, vs = perm[us], perm[vs]
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([us, vs, diag])
+    cols = np.concatenate([vs, us, diag])
+    return _bipartite(rows, cols, n, n)
+
+
+def _zipf_sizes(rng: np.random.Generator, count: int, lo: int, hi: int, alpha: float) -> np.ndarray:
+    """``count`` integers in ``[lo, hi]`` with a Zipf-ish tail."""
+    raw = rng.zipf(alpha, size=count)
+    return np.clip(raw + lo - 1, lo, hi).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Rectangular / bipartite families
+# ---------------------------------------------------------------------------
+
+
+def movielens_like(
+    num_nets: int = 700,
+    num_vertices: int = 2400,
+    avg_net_size: int = 30,
+    max_net_size: int = 420,
+    seed: int = 20,
+) -> BipartiteGraph:
+    """Rating-matrix analogue: rectangular with heavy-tailed net sizes.
+
+    A handful of nets (power users / blockbuster movies) touch a large
+    fraction of all vertices, which is what makes the vertex-based first
+    iteration quadratic-cost in practice for 20M_movielens.
+    """
+    if num_nets < 1 or num_vertices < 1:
+        raise DatasetError("movielens_like needs positive dimensions")
+    rng = np.random.default_rng(seed)
+    sizes = _zipf_sizes(rng, num_nets, lo=2, hi=max_net_size, alpha=1.35)
+    # Rescale to hit the requested average while keeping the tail shape.
+    target_total = num_nets * avg_net_size
+    sizes = np.maximum(2, (sizes * target_total / max(1, sizes.sum())).astype(np.int64))
+    sizes = np.minimum(sizes, min(max_net_size, num_vertices))
+    # A blockbuster net touching ~half the vertices: 20M_movielens' largest
+    # row holds 67,310 of 138,493 columns; that single net both sets the
+    # color lower bound (colors ≈ L) and drives the quadratic vertex-based
+    # first-iteration cost.
+    sizes[0] = min(max_net_size, num_vertices)
+    # Vertex popularity is itself heavy-tailed.
+    popularity = 1.0 / np.arange(1, num_vertices + 1, dtype=np.float64) ** 0.8
+    popularity /= popularity.sum()
+    rows_list, cols_list = [], []
+    for net, size in enumerate(sizes):
+        members = rng.choice(num_vertices, size=int(size), replace=False, p=popularity)
+        rows_list.append(np.full(members.size, net, dtype=np.int64))
+        cols_list.append(members.astype(np.int64))
+    # Scatter the column ids: real rating matrices are not popularity-sorted,
+    # and an id-sorted popularity would make the natural order artificially
+    # good for greedy coloring.
+    scatter = rng.permutation(num_vertices).astype(np.int64)
+    return _bipartite(
+        np.concatenate(rows_list),
+        scatter[np.concatenate(cols_list)],
+        num_nets,
+        num_vertices,
+    )
+
+
+def web_like(
+    num_vertices: int = 2600,
+    avg_degree: int = 8,
+    max_degree: int = 300,
+    seed: int = 27,
+) -> BipartiteGraph:
+    """Web-crawl analogue: square, unsymmetric, power-law in/out degrees."""
+    if num_vertices < 2:
+        raise DatasetError("web_like needs at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    out_sizes = _zipf_sizes(rng, num_vertices, lo=1, hi=max_degree, alpha=1.7)
+    target_total = num_vertices * avg_degree
+    out_sizes = np.maximum(
+        1, (out_sizes * target_total / max(1, out_sizes.sum())).astype(np.int64)
+    )
+    out_sizes = np.minimum(out_sizes, min(max_degree, num_vertices - 1))
+    # uk-2002's greedy coloring lands exactly on the lower bound: the giant
+    # hub row is near-disjoint from the other large rows.  A mild popularity
+    # skew keeps the in-degree tail without making the hubs overlap heavily.
+    popularity = 1.0 / np.arange(1, num_vertices + 1, dtype=np.float64) ** 0.35
+    popularity /= popularity.sum()
+    rows_list, cols_list = [], []
+    for page, size in enumerate(out_sizes):
+        targets = rng.choice(num_vertices, size=int(size), replace=False, p=popularity)
+        rows_list.append(np.full(targets.size, page, dtype=np.int64))
+        cols_list.append(targets.astype(np.int64))
+    # Relabel pages with one permutation on both sides: crawl ids are not
+    # popularity-sorted in real web graphs.
+    scatter = rng.permutation(num_vertices).astype(np.int64)
+    return _bipartite(
+        scatter[np.concatenate(rows_list)],
+        scatter[np.concatenate(cols_list)],
+        num_vertices,
+        num_vertices,
+    )
+
+
+def cfd_like(
+    num_vertices: int = 900,
+    block: int = 24,
+    extra_links: int = 6,
+    seed: int = 15,
+) -> BipartiteGraph:
+    """CFD analogue (HV15R): square, unsymmetric, dense diagonal blocks.
+
+    The unknowns of one cell form a dense coupled block (all rows of a block
+    cover the whole block), plus a few long-range couplings per row.  Like
+    HV15R, greedy coloring then lands very close to the lower bound ``L``
+    (the block size), because the conflict graph is a clique union with a
+    sparse overlay.
+    """
+    if num_vertices < block + 1:
+        raise DatasetError("cfd_like needs num_vertices > block")
+    rng = np.random.default_rng(seed)
+    rows_list, cols_list = [], []
+    for i in range(num_vertices):
+        block_id = i // block
+        lo = block_id * block
+        hi = min(num_vertices, lo + block)
+        local = np.arange(lo, hi, dtype=np.int64)
+        far = rng.integers(0, num_vertices, size=extra_links)
+        targets = np.concatenate([local, far])
+        rows_list.append(np.full(targets.size, i, dtype=np.int64))
+        cols_list.append(targets)
+    # Relabel with one permutation on both sides: real CFD numberings come
+    # from mesh generators, not a perfect diagonal band sweep.
+    scatter = rng.permutation(num_vertices).astype(np.int64)
+    return _bipartite(
+        scatter[np.concatenate(rows_list)],
+        scatter[np.concatenate(cols_list)],
+        num_vertices,
+        num_vertices,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Square symmetric (mesh / stencil / clique) families — also used for D2GC
+# ---------------------------------------------------------------------------
+
+
+def _stencil_edges(dims: tuple[int, ...], offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected edges of a regular grid stencil given offset vectors."""
+    grid = np.indices(dims).reshape(len(dims), -1).T  # (n, d) coordinates
+    strides = np.cumprod((1,) + dims[::-1][:-1])[::-1]  # row-major linearization
+    ids = grid @ strides
+    us_list, vs_list = [], []
+    for off in offsets:
+        shifted = grid + off
+        ok = np.all((shifted >= 0) & (shifted < np.asarray(dims)), axis=1)
+        us_list.append(ids[ok])
+        vs_list.append((shifted[ok] @ strides))
+    return np.concatenate(us_list), np.concatenate(vs_list)
+
+
+def shell_mesh(nx: int = 44, ny: int = 40, seed: int = 0) -> BipartiteGraph:
+    """2-D shell-element mesh (af_shell10 analogue): 5×5 stencil, max ≈ 35.
+
+    Shell FEM matrices couple each node to its 8 immediate and 16
+    second-ring neighbours plus a few cross-layer terms; degrees are low,
+    bounded and nearly uniform.
+    """
+    if nx < 5 or ny < 5:
+        raise DatasetError("shell_mesh needs nx, ny >= 5")
+    offsets = [
+        (dx, dy)
+        for dx in range(-2, 3)
+        for dy in range(-2, 3)
+        if (dx, dy) > (0, 0)  # upper half; symmetrized below
+    ]
+    # Trim the corners of the 5x5 block to land near af_shell's 35 max.
+    offsets = [o for o in offsets if abs(o[0]) + abs(o[1]) <= 3]
+    us, vs = _stencil_edges((nx, ny), np.asarray(offsets))
+    return _symmetric_bipartite(us, vs, nx * ny, scatter_seed=seed + 101)
+
+
+def stencil3d(nx: int = 11, ny: int = 10, nz: int = 10, seed: int = 0) -> BipartiteGraph:
+    """3-D 27-point stencil (bone010 analogue): max degree ≈ 27–63 band."""
+    if min(nx, ny, nz) < 3:
+        raise DatasetError("stencil3d needs all dimensions >= 3")
+    offsets = [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if (dx, dy, dz) > (0, 0, 0)
+    ]
+    us, vs = _stencil_edges((nx, ny, nz), np.asarray(offsets))
+    # bone010 couples a few second-shell trabecular links: axial (2,0,0)-type
+    # offsets push the max degree above the plain 27-point stencil without
+    # densifying the distance-2 neighbourhood too far for the scaled sizes.
+    extra = [(2, 0, 0), (0, 2, 0), (0, 0, 2)]
+    us2, vs2 = _stencil_edges((nx, ny, nz), np.asarray(extra))
+    return _symmetric_bipartite(
+        np.concatenate([us, us2]),
+        np.concatenate([vs, vs2]),
+        nx * ny * nz,
+        scatter_seed=seed + 202,
+    )
+
+
+def channel_mesh(nx: int = 14, ny: int = 10, nz: int = 10, seed: int = 0) -> BipartiteGraph:
+    """Regular 18-point stencil (channel analogue): 6 face + 12 edge links.
+
+    Degrees are exactly 18 in the interior (std ≈ 1 from the boundary),
+    matching the paper's most regular instance.
+    """
+    if min(nx, ny, nz) < 3:
+        raise DatasetError("channel_mesh needs all dimensions >= 3")
+    face = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    edge = [
+        (1, 1, 0), (1, -1, 0),
+        (1, 0, 1), (1, 0, -1),
+        (0, 1, 1), (0, 1, -1),
+    ]
+    us, vs = _stencil_edges((nx, ny, nz), np.asarray(face + edge))
+    return _symmetric_bipartite(us, vs, nx * ny * nz, scatter_seed=seed + 303)
+
+
+def copapers_like(
+    num_vertices: int = 2200,
+    num_cliques: int = 420,
+    max_clique: int = 110,
+    seed: int = 7,
+) -> BipartiteGraph:
+    """Co-authorship analogue (coPapersDBLP): a union of author cliques.
+
+    Every "paper" makes its authors pairwise adjacent, so the adjacency
+    matrix is a clique union: a few very large cliques give the huge max
+    degree / tiny average that breaks vertex-based BGPC on coPapersDBLP.
+    """
+    if num_vertices < 4:
+        raise DatasetError("copapers_like needs at least 4 vertices")
+    rng = np.random.default_rng(seed)
+    sizes = _zipf_sizes(rng, num_cliques, lo=2, hi=max_clique, alpha=1.9)
+    popularity = 1.0 / np.arange(1, num_vertices + 1, dtype=np.float64) ** 0.25
+    popularity /= popularity.sum()
+    us_list, vs_list = [], []
+    for size in sizes:
+        members = rng.choice(num_vertices, size=int(size), replace=False, p=popularity)
+        k = members.size
+        left = np.repeat(members, k)
+        right = np.tile(members, k)
+        keep = left < right
+        us_list.append(left[keep])
+        vs_list.append(right[keep])
+    us = np.concatenate(us_list).astype(np.int64)
+    vs = np.concatenate(vs_list).astype(np.int64)
+    return _symmetric_bipartite(us, vs, num_vertices, scatter_seed=seed + 505)
+
+
+def kkt_like(
+    grid: tuple[int, int, int] = (9, 9, 8),
+    num_constraints: int = 500,
+    vars_per_constraint: int = 6,
+    seed: int = 3,
+) -> BipartiteGraph:
+    """KKT-system analogue (nlpkkt120): ``[[H, Aᵀ], [A, 0]]`` blocks.
+
+    ``H`` is a 7-point-stencil Hessian over a 3-D grid of primal variables;
+    ``A`` couples each dual (constraint) row to a local group of primals.
+    The assembled pattern is square and symmetric.
+    """
+    nx, ny, nz = grid
+    n_primal = nx * ny * nz
+    if n_primal < vars_per_constraint:
+        raise DatasetError("kkt_like grid too small for constraint width")
+    rng = np.random.default_rng(seed)
+    offsets = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    hu, hv = _stencil_edges((nx, ny, nz), np.asarray(offsets))
+    n = n_primal + num_constraints
+    # A-block: constraint j (id n_primal + j) touches a clustered var group.
+    starts = rng.integers(0, max(1, n_primal - vars_per_constraint), size=num_constraints)
+    au_list, av_list = [], []
+    for j, start in enumerate(starts):
+        variables = start + rng.choice(
+            vars_per_constraint * 3,
+            size=vars_per_constraint,
+            replace=False,
+        )
+        variables = np.clip(variables, 0, n_primal - 1)
+        au_list.append(np.full(variables.size, n_primal + j, dtype=np.int64))
+        av_list.append(variables.astype(np.int64))
+    us = np.concatenate([hu, np.concatenate(au_list)])
+    vs = np.concatenate([hv, np.concatenate(av_list)])
+    return _symmetric_bipartite(us, vs, n, scatter_seed=seed + 404)
+
+
+# ---------------------------------------------------------------------------
+# Generic random instances (tests and property-based checks)
+# ---------------------------------------------------------------------------
+
+
+def random_bipartite(
+    num_nets: int,
+    num_vertices: int,
+    density: float = 0.05,
+    seed: int = 0,
+) -> BipartiteGraph:
+    """Erdős–Rényi-style bipartite pattern with expected ``density``."""
+    if not 0.0 <= density <= 1.0:
+        raise DatasetError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_nets, num_vertices)) < density
+    rows, cols = np.nonzero(mask)
+    return _bipartite(rows, cols, num_nets, num_vertices)
+
+
+def random_graph(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """Uniform random simple undirected graph."""
+    rng = np.random.default_rng(seed)
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise DatasetError(f"{num_edges} edges exceed the {max_edges} possible")
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        u, v = rng.integers(0, num_vertices, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return graph_from_edges(np.array(sorted(edges)), num_vertices=num_vertices)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphBuildError",
+    "MatrixMarketError",
+    "ColoringError",
+    "InvalidColoringError",
+    "MachineError",
+    "SchedulerError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """A graph container was constructed with or fed inconsistent data."""
+
+
+class GraphBuildError(GraphError):
+    """Raised by the builders in :mod:`repro.graph.build` on malformed input."""
+
+
+class MatrixMarketError(GraphError):
+    """Raised on malformed MatrixMarket files or unsupported qualifiers."""
+
+
+class ColoringError(ReproError):
+    """Base class for errors produced by the coloring drivers."""
+
+
+class InvalidColoringError(ColoringError):
+    """A coloring failed validation.
+
+    Carries the first offending conflict for diagnostics.
+
+    Attributes
+    ----------
+    conflict:
+        A ``(u, v, via)`` triple of two same-colored vertices and the net /
+        middle vertex through which they conflict, or ``None`` when the
+        failure is structural (e.g. uncolored vertices).
+    """
+
+    def __init__(self, message: str, conflict: tuple | None = None):
+        super().__init__(message)
+        self.conflict = conflict
+
+
+class MachineError(ReproError):
+    """The simulated machine was misused (bad thread count, nested phase...)."""
+
+
+class SchedulerError(MachineError):
+    """Scheduling invariants were violated (unassigned tasks, bad chunks)."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

@@ -1,0 +1,44 @@
+"""Graph containers and utilities.
+
+This subpackage provides the CSR-based graph substrate the coloring
+algorithms run on:
+
+* :class:`repro.graph.csr.CSR` — a compressed-sparse-row adjacency list;
+* :class:`repro.graph.bipartite.BipartiteGraph` — both orientations of a
+  bipartite graph (vertex→nets and net→vertices), the BGPC input;
+* :class:`repro.graph.unipartite.Graph` — a symmetric unipartite graph, the
+  D2GC input;
+* builders (:mod:`repro.graph.build`), pattern algebra
+  (:mod:`repro.graph.ops`), MatrixMarket I/O (:mod:`repro.graph.mmio`) and
+  dataset statistics (:mod:`repro.graph.stats`).
+"""
+
+from repro.graph.csr import CSR
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.unipartite import Graph
+from repro.graph.build import (
+    bipartite_from_edges,
+    bipartite_from_scipy,
+    bipartite_from_dense,
+    graph_from_edges,
+    graph_from_scipy,
+    graph_from_dense,
+)
+from repro.graph.mmio import read_matrix_market, write_matrix_market
+from repro.graph.stats import DatasetProperties, dataset_properties
+
+__all__ = [
+    "CSR",
+    "BipartiteGraph",
+    "Graph",
+    "bipartite_from_edges",
+    "bipartite_from_scipy",
+    "bipartite_from_dense",
+    "graph_from_edges",
+    "graph_from_scipy",
+    "graph_from_dense",
+    "read_matrix_market",
+    "write_matrix_market",
+    "DatasetProperties",
+    "dataset_properties",
+]

@@ -1,0 +1,185 @@
+"""Hypergraph view of the BGPC problem.
+
+Section III of the paper frames BGPC as hypergraph coloring: "the elements
+of V_A correspond to the *pins* to be colored, and the ones in V_B
+correspond to the *nets*".  Downstream users coming from the hypergraph
+partitioning world (PaToH/hMETIS-style inputs) think in that vocabulary, so
+this module provides a thin facade over :class:`BipartiteGraph` with
+pin/net naming plus a reader for the PaToH-style plain-text format::
+
+    % comment lines allowed
+    <num_nets> <num_pins> <num_pin_entries>
+    <pin> <pin> ...          # one line per net (0- or 1-indexed)
+
+Coloring a hypergraph = BGPC on the underlying bipartite structure; all
+algorithms, policies and orderings apply unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphBuildError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import csr_from_edges
+
+__all__ = ["Hypergraph", "read_patoh"]
+
+
+class Hypergraph:
+    """Pins-and-nets facade over a :class:`BipartiteGraph`.
+
+    Parameters
+    ----------
+    bipartite:
+        The underlying two-orientation structure (pins = ``V_A`` vertices,
+        nets = ``V_B``).
+    """
+
+    __slots__ = ("bipartite",)
+
+    def __init__(self, bipartite: BipartiteGraph):
+        self.bipartite = bipartite
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_nets(
+        cls,
+        nets: Iterable[Sequence[int]],
+        num_pins: int | None = None,
+    ) -> "Hypergraph":
+        """Build from an iterable of pin lists, one per net."""
+        rows_list, cols_list = [], []
+        for net_id, pins in enumerate(nets):
+            arr = np.asarray(list(pins), dtype=np.int64)
+            if arr.size and arr.min() < 0:
+                raise GraphBuildError(f"net {net_id} has a negative pin id")
+            rows_list.append(np.full(arr.size, net_id, dtype=np.int64))
+            cols_list.append(arr)
+        num_nets = len(rows_list)
+        rows = (
+            np.concatenate(rows_list) if rows_list else np.empty(0, dtype=np.int64)
+        )
+        cols = (
+            np.concatenate(cols_list) if cols_list else np.empty(0, dtype=np.int64)
+        )
+        if num_pins is None:
+            num_pins = int(cols.max()) + 1 if cols.size else 0
+        net_to_vtxs = csr_from_edges(rows, cols, num_nets, num_pins)
+        return cls(BipartiteGraph.from_net_to_vtxs(net_to_vtxs))
+
+    # -- hypergraph vocabulary ------------------------------------------------
+
+    @property
+    def num_pins(self) -> int:
+        return self.bipartite.num_vertices
+
+    @property
+    def num_nets(self) -> int:
+        return self.bipartite.num_nets
+
+    @property
+    def num_pin_entries(self) -> int:
+        """Total pin occurrences (the file-format "pins" count)."""
+        return self.bipartite.num_edges
+
+    def pins(self, net: int) -> np.ndarray:
+        """Pins of one net."""
+        return self.bipartite.vtxs(net)
+
+    def nets_of(self, pin: int) -> np.ndarray:
+        """Nets containing one pin."""
+        return self.bipartite.nets(pin)
+
+    def max_net_size(self) -> int:
+        """``max |pins(n)|`` — the coloring lower bound."""
+        return self.bipartite.color_lower_bound()
+
+    # -- coloring ---------------------------------------------------------------
+
+    def color(self, algorithm: str = "N1-N2", threads: int = 16, **kwargs):
+        """Color the pins so no net holds two same-colored pins.
+
+        Thin wrapper over :func:`repro.core.bgpc.color_bgpc`; accepts the
+        same keyword arguments (``policy``, ``order``, ``cost``...).
+        """
+        from repro.core.bgpc import color_bgpc
+
+        return color_bgpc(
+            self.bipartite, algorithm=algorithm, threads=threads, **kwargs
+        )
+
+    def validate(self, colors: np.ndarray) -> None:
+        """Raise unless ``colors`` is a valid pin coloring."""
+        from repro.core.validate import validate_bgpc
+
+        validate_bgpc(self.bipartite, colors)
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(pins={self.num_pins}, nets={self.num_nets}, "
+            f"pin_entries={self.num_pin_entries})"
+        )
+
+
+def read_patoh(path: str | Path, index_base: int | None = None) -> Hypergraph:
+    """Read a PaToH-style hypergraph file.
+
+    Parameters
+    ----------
+    path:
+        Text file: a header line ``<nets> <pins> <entries>`` (after optional
+        ``%`` comments) followed by one line of pin ids per net.
+    index_base:
+        0 or 1; autodetected when ``None`` (1-based if no 0 appears and some
+        pin equals ``num_pins``).
+    """
+    path = Path(path)
+    nets: list[list[int]] = []
+    header: tuple[int, int, int] | None = None
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            tokens = [int(t) for t in stripped.split()]
+            if header is None:
+                if len(tokens) < 3:
+                    raise GraphBuildError(
+                        f"hypergraph header needs 3 integers, got {stripped!r}"
+                    )
+                header = (tokens[0], tokens[1], tokens[2])
+                continue
+            nets.append(tokens)
+    if header is None:
+        raise GraphBuildError(f"{path} has no header line")
+    num_nets, num_pins, num_entries = header
+    if len(nets) != num_nets:
+        raise GraphBuildError(
+            f"expected {num_nets} net lines, found {len(nets)}"
+        )
+    total = sum(len(n) for n in nets)
+    if total != num_entries:
+        raise GraphBuildError(
+            f"expected {num_entries} pin entries, found {total}"
+        )
+    flat = [p for net in nets for p in net]
+    if index_base is None:
+        has_zero = any(p == 0 for p in flat)
+        hits_npins = any(p == num_pins for p in flat)
+        index_base = 1 if (not has_zero and hits_npins) else 0
+    if index_base not in (0, 1):
+        raise GraphBuildError("index_base must be 0 or 1")
+    shifted = [[p - index_base for p in net] for net in nets]
+    for net_id, net in enumerate(shifted):
+        for p in net:
+            if not 0 <= p < num_pins:
+                raise GraphBuildError(
+                    f"pin {p + index_base} of net {net_id} outside "
+                    f"[{index_base}, {num_pins - 1 + index_base}]"
+                )
+    return Hypergraph.from_nets(shifted, num_pins=num_pins)

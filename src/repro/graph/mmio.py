@@ -1,0 +1,131 @@
+"""Minimal MatrixMarket coordinate-format reader/writer.
+
+The paper's instances come from the UF (SuiteSparse) collection as ``.mtx``
+files.  No network access is available in this environment, so the synthetic
+datasets stand in for the real matrices — but a downstream user with the
+files on disk can load them through this module and run every experiment on
+the genuine inputs.
+
+Only the ``matrix coordinate`` object class is supported, with the
+``real | integer | pattern | complex`` fields and ``general | symmetric |
+skew-symmetric`` symmetries — the subset that covers the entire SuiteSparse
+collection as used in the paper.  Values are discarded: coloring only needs
+the pattern.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import MatrixMarketError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import csr_from_edges
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_VALID_FIELDS = {"real", "integer", "pattern", "complex"}
+_VALID_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path: str | Path) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_matrix_market(path: str | Path) -> BipartiteGraph:
+    """Read a ``.mtx`` (optionally ``.mtx.gz``) file as a BGPC instance.
+
+    Rows become nets and columns become the vertices to color, matching the
+    paper's experimental setup.  Symmetric storage is expanded to the full
+    pattern.
+
+    Raises
+    ------
+    MatrixMarketError
+        On a malformed header, unsupported qualifiers, out-of-range indices
+        or a truncated entry section.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError(f"missing %%MatrixMarket banner in {path}")
+        parts = header.strip().split()
+        if len(parts) != 5:
+            raise MatrixMarketError(f"malformed banner: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                f"only 'matrix coordinate' is supported, got '{obj} {fmt}'"
+            )
+        if field not in _VALID_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _VALID_SYMMETRIES:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line and (line.startswith("%") or not line.strip()):
+            line = fh.readline()
+        if not line:
+            raise MatrixMarketError("missing size line")
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"bad size line: {line.strip()!r}") from exc
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise MatrixMarketError("negative sizes in size line")
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        count = 0
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            if count >= nnz:
+                raise MatrixMarketError("more entries than declared in size line")
+            toks = stripped.split()
+            try:
+                r = int(toks[0]) - 1
+                c = int(toks[1]) - 1
+            except (IndexError, ValueError) as exc:
+                raise MatrixMarketError(f"bad entry line: {stripped!r}") from exc
+            if not (0 <= r < nrows and 0 <= c < ncols):
+                raise MatrixMarketError(
+                    f"entry ({r + 1}, {c + 1}) outside {nrows}x{ncols}"
+                )
+            rows[count] = r
+            cols[count] = c
+            count += 1
+        if count != nnz:
+            raise MatrixMarketError(f"expected {nnz} entries, found {count}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        mirror_rows, mirror_cols = cols[off_diag], rows[off_diag]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+
+    net_to_vtxs = csr_from_edges(rows, cols, nrows, ncols)
+    return BipartiteGraph.from_net_to_vtxs(net_to_vtxs)
+
+
+def write_matrix_market(bg: BipartiteGraph, path: str | Path, comment: str = "") -> None:
+    """Write a BGPC instance as a general-pattern coordinate ``.mtx`` file."""
+    path = Path(path)
+    n2v = bg.net_to_vtxs
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{bg.num_nets} {bg.num_vertices} {bg.num_edges}\n")
+        for v, members in n2v.iter_rows():
+            for u in members:
+                fh.write(f"{v + 1} {u + 1}\n")

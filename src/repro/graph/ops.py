@@ -1,0 +1,129 @@
+"""Pattern algebra on graph containers.
+
+These are the structural operations the reproduction needs around the core
+algorithms: converting between the BGPC and D2GC views of a matrix,
+symmetrizing patterns, and materializing the distance-2 conflict graph that
+serves as the *reference* (slow but obviously correct) formulation both
+validators and tests compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import csr_from_edges
+from repro.graph.csr import CSR
+from repro.graph.unipartite import Graph
+
+__all__ = [
+    "symmetrize",
+    "bipartite_to_graph",
+    "graph_to_bipartite",
+    "bgpc_conflict_graph",
+    "d2gc_conflict_graph",
+    "square_pattern",
+]
+
+
+def symmetrize(csr: CSR) -> CSR:
+    """Union a square CSR pattern with its transpose, dropping the diagonal."""
+    if csr.nrows != csr.ncols:
+        raise GraphError("symmetrize requires a square pattern")
+    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), csr.degrees())
+    cols = csr.idx
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    return csr_from_edges(
+        np.concatenate([rows, cols]),
+        np.concatenate([cols, rows]),
+        csr.nrows,
+        csr.nrows,
+    )
+
+
+def bipartite_to_graph(bg: BipartiteGraph) -> Graph:
+    """Interpret a square structurally-symmetric bipartite instance as a graph.
+
+    This is how the paper derives its D2GC instances: the same matrix used
+    for BGPC, now read as the adjacency of a unipartite graph (diagonal
+    dropped, pattern symmetrized).
+    """
+    if bg.num_vertices != bg.num_nets:
+        raise GraphError("bipartite instance is not square")
+    return Graph(symmetrize(bg.vtx_to_nets), check=False)
+
+
+def graph_to_bipartite(g: Graph) -> BipartiteGraph:
+    """Read a graph's adjacency matrix as a BGPC instance (rows = nets)."""
+    return BipartiteGraph.from_net_to_vtxs(g.adj)
+
+
+def bgpc_conflict_graph(bg: BipartiteGraph) -> Graph:
+    """Materialize the BGPC conflict graph over ``V_A``.
+
+    Two vertices are adjacent iff they share at least one net; a valid BGPC
+    coloring of ``bg`` is exactly a valid distance-1 coloring of this graph.
+    Cost is Θ(Σ_v |vtxs(v)|²) — reference/validation use only.
+    """
+    row_chunks: list[np.ndarray] = []
+    col_chunks: list[np.ndarray] = []
+    n2v = bg.net_to_vtxs
+    for _, members in n2v.iter_rows():
+        k = members.size
+        if k < 2:
+            continue
+        # All ordered pairs within the net (dedup happens in csr_from_edges).
+        left = np.repeat(members, k)
+        right = np.tile(members, k)
+        keep = left != right
+        row_chunks.append(left[keep])
+        col_chunks.append(right[keep])
+    if row_chunks:
+        rows = np.concatenate(row_chunks)
+        cols = np.concatenate(col_chunks)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    adj = csr_from_edges(rows, cols, bg.num_vertices, bg.num_vertices)
+    return Graph(adj, check=False)
+
+
+def d2gc_conflict_graph(g: Graph) -> Graph:
+    """Materialize the square graph G² (distance ≤ 2 adjacency).
+
+    A valid D2GC coloring of ``g`` is exactly a valid distance-1 coloring of
+    the returned graph.  Reference/validation use only.
+    """
+    row_chunks: list[np.ndarray] = []
+    col_chunks: list[np.ndarray] = []
+    for v in range(g.num_vertices):
+        d2 = g.distance2_neighbors(v)
+        if d2.size:
+            row_chunks.append(np.full(d2.size, v, dtype=np.int64))
+            col_chunks.append(d2)
+    if row_chunks:
+        rows = np.concatenate(row_chunks)
+        cols = np.concatenate(col_chunks)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    adj = csr_from_edges(
+        np.concatenate([rows, cols]),
+        np.concatenate([cols, rows]),
+        g.num_vertices,
+        g.num_vertices,
+    )
+    return Graph(adj, check=False)
+
+
+def square_pattern(csr: CSR) -> CSR:
+    """Structural product ``P(AᵀA)`` of a rectangular pattern ``A``.
+
+    Column ``i`` and ``j`` of ``A`` are adjacent in the result iff they share
+    a row — i.e. the BGPC conflict graph in matrix form.  Exposed separately
+    for the Jacobian-compression application.
+    """
+    bg = BipartiteGraph.from_net_to_vtxs(csr)
+    return bgpc_conflict_graph(bg).adj

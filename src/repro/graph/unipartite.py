@@ -1,0 +1,107 @@
+"""Unipartite (symmetric) graph container for the D2GC problem.
+
+Distance-2 graph coloring operates on an undirected graph ``G=(V, E)``; the
+paper obtains its D2GC instances from structurally symmetric matrices.  The
+container enforces symmetry and the absence of self-loops at construction,
+since the D2GC kernels (paper Algs. 9–10) rely on ``nbor`` being symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSR
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected graph stored as a symmetric CSR without self-loops.
+
+    Parameters
+    ----------
+    adj:
+        Square CSR adjacency; must be structurally symmetric and loop-free.
+    check:
+        When True (default) the symmetry/no-loop invariants are verified;
+        pass False only for adjacency known-good by construction (e.g. the
+        output of :func:`repro.graph.ops.symmetrize`).
+    """
+
+    __slots__ = ("adj", "__weakref__")
+
+    def __init__(self, adj: CSR, check: bool = True):
+        if adj.nrows != adj.ncols:
+            raise GraphError(f"adjacency must be square, got {adj.nrows}x{adj.ncols}")
+        if check:
+            for v, row in adj.iter_rows():
+                if np.any(row == v):
+                    raise GraphError(f"self-loop at vertex {v}")
+            t = adj.transpose().sorted()
+            s = adj.sorted()
+            if not (np.array_equal(s.ptr, t.ptr) and np.array_equal(s.idx, t.idx)):
+                raise GraphError("adjacency must be structurally symmetric")
+        self.adj = adj
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.adj.nrows
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (half the stored entries)."""
+        return self.adj.nnz // 2
+
+    # -- adjacency ---------------------------------------------------------------
+
+    def nbor(self, v: int) -> np.ndarray:
+        """Distance-1 neighbourhood of ``v`` (the paper's ``nbor(v)``)."""
+        return self.adj.row(v)
+
+    def degree(self, v: int) -> int:
+        return self.adj.degree(v)
+
+    def degrees(self) -> np.ndarray:
+        return self.adj.degrees()
+
+    def max_degree(self) -> int:
+        return self.adj.max_degree()
+
+    # -- problem bounds -----------------------------------------------------------
+
+    def color_lower_bound(self) -> int:
+        """``1 + max_v |nbor(v)|`` — the trivial D2GC color lower bound.
+
+        A vertex and all its distance-1 neighbours are mutually distance-≤2,
+        hence need ``deg(v) + 1`` distinct colors (paper §II).
+        """
+        return 1 + self.max_degree()
+
+    def distance2_neighbors(self, v: int) -> np.ndarray:
+        """All vertices within distance 2 of ``v`` (excluding ``v`` itself).
+
+        O(Σ_{u∈nbor(v)} deg(u)) reference implementation used by the
+        validators; the production kernels never materialize this set.
+        """
+        ring1 = self.nbor(v)
+        if ring1.size == 0:
+            return ring1
+        pieces = [ring1] + [self.nbor(int(u)) for u in ring1]
+        merged = np.unique(np.concatenate(pieces))
+        return merged[merged != v]
+
+    # -- transforms -----------------------------------------------------------------
+
+    def permute(self, perm: np.ndarray) -> "Graph":
+        """Relabel vertices so new id ``k`` is old id ``perm[k]``."""
+        perm = np.asarray(perm, dtype=np.int64)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size, dtype=np.int64)
+        relabeled = self.adj.permute_rows(perm).relabel_cols(inverse)
+        return Graph(relabeled, check=False)
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,26 @@
+"""Deterministic simulated shared-memory multicore machine.
+
+This package is the substitute for the paper's 30-core Xeon testbed (see
+DESIGN.md, Substitution 1).  It executes parallel-for phases the way an
+OpenMP runtime would — dynamic chunk scheduling over hardware threads — but
+in a discrete-event simulation with
+
+* per-thread virtual cycle clocks,
+* a *happens-before* shared memory: a task observes exactly the writes that
+  committed before the task started, so optimistic-coloring races genuinely
+  occur and grow with the thread count,
+* explicit cycle charges for memory traffic, chunk grabs (with central-queue
+  contention), atomic queue appends and barriers, and
+* a saturating memory-bandwidth term producing realistic sub-linear scaling.
+
+Everything is integer-cycle arithmetic and deterministic: the same program
+on the same input always produces the same colors and the same timings.
+"""
+
+from repro.machine.cost import CostModel
+from repro.machine.memory import TimestampedMemory
+from repro.machine.scheduler import Schedule
+from repro.machine.machine import Machine
+from repro.machine.trace import RunTrace
+
+__all__ = ["CostModel", "TimestampedMemory", "Schedule", "Machine", "RunTrace"]

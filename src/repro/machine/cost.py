@@ -1,0 +1,166 @@
+"""Cycle-cost model of the simulated multicore.
+
+All charges are integers (cycles) so the whole simulation is exact and
+deterministic.  The default constants were calibrated so the eight BGPC
+algorithm variants reproduce the relative ordering and approximate speedup
+magnitudes of the paper's Tables III–V (see EXPERIMENTS.md); they are *not*
+microarchitectural measurements.
+
+The model separates **compute** cycles (always divide perfectly across
+threads) from **memory** cycles (inflated once aggregate bandwidth
+saturates), because the coloring kernels are memory-bound and that is what
+caps their 16-thread efficiency on the paper's machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle charges of the simulated machine.
+
+    Attributes
+    ----------
+    task_overhead:
+        Fixed compute cycles per parallel-for task (loop bookkeeping).
+    edge_cost:
+        Memory cycles per adjacency entry touched (one index load plus one
+        color-array load).
+    forbid_cost:
+        Compute cycles per forbidden-set probe/insert (the marker-array
+        operations of Section III's implementation notes).
+    write_cost:
+        Memory cycles per color-array store.
+    atomic_base, atomic_contention:
+        Cycles for one atomic append to the shared next-iteration queue:
+        ``atomic_base + atomic_contention * (threads - 1)``.  This is what
+        the V-V-64D lazy private queues avoid.
+    chunk_base, chunk_contention:
+        Cycles for one dynamic-scheduling chunk grab from the central
+        counter: ``chunk_base + chunk_contention * (threads - 1)``.  With
+        chunk size 1 (plain ``V-V``) this fee is paid per task — the reason
+        chunk size 64 helps in the paper.
+    barrier_base, barrier_per_thread:
+        End-of-phase barrier cost: ``barrier_base + barrier_per_thread * p``.
+    bandwidth_threads:
+        Number of threads the memory system feeds at full speed; beyond it,
+        memory cycles inflate linearly (saturating-bandwidth model).
+    bandwidth_slope_pct:
+        Percentage inflation of memory cycles per thread beyond
+        ``bandwidth_threads`` (integer percent to stay in exact arithmetic).
+    coherence_pct:
+        Flat inflation of memory cycles whenever more than one thread runs:
+        cache-coherence traffic on the shared color array, paid from the
+        second thread on (independent of the bandwidth ceiling).
+    socket_threads, numa_penalty_pct:
+        Optional NUMA model (off by default: ``socket_threads = 0``).  When
+        set, threads beyond one socket's capacity inflate memory cycles by
+        ``numa_penalty_pct`` scaled by the remote-thread fraction — the
+        paper's dual-socket 2×15-core testbed straddles sockets from 16
+        threads up.  Not part of the calibrated defaults; the ``manycore``
+        experiment enables it.
+    race_window_pct:
+        When a task's color stores become visible to other threads, as a
+        percentage of the task's duration after its start.  100 means
+        "visible only at task end" (maximal blindness — every overlapping
+        task races); real hardware publishes stores within a cache-line
+        transfer of issuing them, a small fraction of a task, so smaller
+        values model the true vulnerability window between a thread reading
+        a neighbour's cell and the neighbour's store landing.
+    """
+
+    task_overhead: int = 6
+    edge_cost: int = 4
+    forbid_cost: int = 1
+    write_cost: int = 6
+    atomic_base: int = 30
+    atomic_contention: int = 14
+    chunk_base: int = 24
+    chunk_contention: int = 110
+    barrier_base: int = 400
+    barrier_per_thread: int = 120
+    bandwidth_threads: int = 8
+    bandwidth_slope_pct: int = 2
+    coherence_pct: int = 10
+    race_window_pct: int = 15
+    socket_threads: int = 0
+    numa_penalty_pct: int = 25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_overhead",
+            "edge_cost",
+            "forbid_cost",
+            "write_cost",
+            "atomic_base",
+            "atomic_contention",
+            "chunk_base",
+            "chunk_contention",
+            "barrier_base",
+            "barrier_per_thread",
+            "bandwidth_slope_pct",
+            "coherence_pct",
+            "socket_threads",
+            "numa_penalty_pct",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.bandwidth_threads < 1:
+            raise ValueError("bandwidth_threads must be >= 1")
+        if not 1 <= self.race_window_pct <= 100:
+            raise ValueError("race_window_pct must be in [1, 100]")
+
+    # -- derived fees ------------------------------------------------------
+
+    def chunk_fee(self, threads: int) -> int:
+        """Cycles to grab one chunk from the central work counter."""
+        if threads <= 1:
+            # A single thread never contends; it still pays the base fee.
+            return self.chunk_base
+        return self.chunk_base + self.chunk_contention * (threads - 1)
+
+    def atomic_fee(self, threads: int) -> int:
+        """Cycles for one atomic append to a shared queue."""
+        if threads <= 1:
+            return self.atomic_base
+        return self.atomic_base + self.atomic_contention * (threads - 1)
+
+    def barrier_cost(self, threads: int) -> int:
+        """Cycles charged to the phase wall-clock for the closing barrier."""
+        if threads <= 1:
+            return 0
+        return self.barrier_base + self.barrier_per_thread * threads
+
+    def inflate_memory(self, mem_cycles: int, threads: int) -> int:
+        """Apply coherence and saturating-bandwidth inflation to memory cycles.
+
+        Any multi-threaded run pays the flat ``coherence_pct`` (shared color
+        array cache-line traffic); beyond ``bandwidth_threads`` concurrent
+        threads, every extra thread adds ``bandwidth_slope_pct`` percent on
+        top.  Integer arithmetic keeps the simulation exact.
+        """
+        if threads <= 1:
+            return mem_cycles
+        pct = 100 + self.coherence_pct
+        over = threads - self.bandwidth_threads
+        if over > 0:
+            pct += self.bandwidth_slope_pct * over
+        if self.socket_threads > 0 and threads > self.socket_threads:
+            remote = threads - self.socket_threads
+            # Remote-socket fraction of accesses pays the NUMA penalty.
+            pct += (self.numa_penalty_pct * remote) // threads
+        return (mem_cycles * pct + 99) // 100
+
+    def write_visibility_delay(self, duration: int) -> int:
+        """Cycles after a task's start at which its stores become visible."""
+        if self.race_window_pct >= 100:
+            return duration
+        return max(1, (duration * self.race_window_pct) // 100)
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        """Return a copy with some charges replaced (for ablation benches)."""
+        return replace(self, **kwargs)

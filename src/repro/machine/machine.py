@@ -1,0 +1,126 @@
+"""The :class:`Machine` facade tying cost model, memory and engine together.
+
+A ``Machine`` is "a multicore with ``p`` threads": coloring runners create
+one per run, execute their phases through :meth:`parallel_for`, and read the
+accumulated :class:`~repro.machine.trace.RunTrace` afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.cost import CostModel
+from repro.machine.engine import (
+    QUEUE_ATOMIC,
+    QUEUE_NONE,
+    QUEUE_PRIVATE,
+    TaskContext,
+    run_parallel_for,
+)
+from repro.machine.memory import TimestampedMemory
+from repro.machine.scheduler import Schedule
+from repro.machine.trace import RunTrace
+from repro.types import PhaseTiming
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated shared-memory multicore.
+
+    Parameters
+    ----------
+    threads:
+        Number of virtual hardware threads (``>= 1``).
+    cost:
+        Cycle-cost model; defaults to the calibrated :class:`CostModel`.
+    """
+
+    def __init__(self, threads: int, cost: CostModel | None = None):
+        if threads < 1:
+            raise MachineError(f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+        self.cost = cost if cost is not None else CostModel()
+        self.trace = RunTrace(threads=self.threads)
+        self._thread_states: list[dict] = [{} for _ in range(self.threads)]
+
+    # -- shared state -------------------------------------------------------
+
+    def make_memory(self, initial: np.ndarray) -> TimestampedMemory:
+        """Wrap an initial array as this machine's shared memory."""
+        return TimestampedMemory(initial)
+
+    @property
+    def thread_states(self) -> list[dict]:
+        """Per-thread persistent dicts (B1/B2 keep ``colmax``/``colnext`` here)."""
+        return self._thread_states
+
+    def reset_thread_states(self) -> None:
+        """Clear all per-thread persistent dicts (fresh run)."""
+        for state in self._thread_states:
+            state.clear()
+
+    # -- execution ------------------------------------------------------------
+
+    def parallel_for(
+        self,
+        n_tasks: int,
+        kernel: Callable[[int, TaskContext], None],
+        memory: TimestampedMemory,
+        schedule: Schedule | None = None,
+        queue_mode: str = QUEUE_NONE,
+        phase_kind: str = "color",
+        task_ids=None,
+        extra_wall: int = 0,
+    ) -> tuple[PhaseTiming, list[int]]:
+        """Run one parallel-for phase; record and return its timing.
+
+        ``extra_wall`` adds fixed cycles to the phase wall-clock — used by
+        runners to account for auxiliary vectorizable sweeps (e.g. collecting
+        the uncolored vertices after a net-based conflict removal).
+        """
+        timing, queue = run_parallel_for(
+            n_tasks=n_tasks,
+            kernel=kernel,
+            memory=memory,
+            threads=self.threads,
+            cost=self.cost,
+            schedule=schedule if schedule is not None else Schedule.dynamic(1),
+            queue_mode=queue_mode,
+            thread_states=self._thread_states,
+            phase_kind=phase_kind,
+            task_ids=task_ids,
+        )
+        if extra_wall:
+            timing = PhaseTiming(
+                kind=timing.kind,
+                cycles=timing.cycles + float(extra_wall),
+                thread_cycles=timing.thread_cycles,
+                tasks=timing.tasks,
+            )
+        self.trace.add(timing)
+        return timing, queue
+
+    # -- auxiliary cost helpers -----------------------------------------------
+
+    def parallel_scan_cost(self, n_items: int) -> int:
+        """Wall cycles of a perfectly parallel vectorized sweep of ``n_items``.
+
+        Models the cheap "collect the uncolored vertices" pass that follows
+        a net-based conflict removal: a bandwidth-bound streaming scan that
+        parallelizes evenly.
+        """
+        mem = self.cost.inflate_memory(n_items * self.cost.edge_cost, self.threads)
+        return -(-mem // self.threads)  # ceil division
+
+    def __repr__(self) -> str:
+        return f"Machine(threads={self.threads})"
+
+
+# Re-exported for runner convenience.
+Machine.QUEUE_NONE = QUEUE_NONE
+Machine.QUEUE_ATOMIC = QUEUE_ATOMIC
+Machine.QUEUE_PRIVATE = QUEUE_PRIVATE

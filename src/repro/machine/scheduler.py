@@ -1,0 +1,110 @@
+"""OpenMP-style loop scheduling for the simulated machine.
+
+Only the pieces the paper exercises are modelled: ``schedule(dynamic, c)``
+with a central chunk counter (the default for all ColPack loops, chunk 1
+unless stated; the paper's ``-64`` variants use chunk 64) and
+``schedule(static)`` for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["Schedule", "ChunkCursor"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A loop schedule: ``dynamic`` (central counter) or ``static`` (pre-split).
+
+    Attributes
+    ----------
+    kind:
+        ``"dynamic"`` or ``"static"``.
+    chunk:
+        Chunk size for dynamic scheduling; ignored for static (each thread
+        receives one contiguous block).
+    """
+
+    kind: str = "dynamic"
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dynamic", "static"):
+            raise SchedulerError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk < 1:
+            raise SchedulerError(f"chunk must be >= 1, got {self.chunk}")
+
+    @staticmethod
+    def dynamic(chunk: int = 1) -> "Schedule":
+        """OpenMP ``schedule(dynamic, chunk)``."""
+        return Schedule("dynamic", chunk)
+
+    @staticmethod
+    def static() -> "Schedule":
+        """OpenMP ``schedule(static)``: one contiguous block per thread."""
+        return Schedule("static", 1)
+
+
+class ChunkCursor:
+    """Dispenses task-index ranges according to a :class:`Schedule`.
+
+    For dynamic scheduling this models the central shared counter: chunks
+    are handed out in request order, so the engine's deterministic event
+    ordering fully determines which thread runs which tasks.  For static
+    scheduling the ranges are fixed up front and ``next_chunk`` simply
+    returns thread ``tid``'s single block on its first call.
+    """
+
+    def __init__(self, n_tasks: int, threads: int, schedule: Schedule):
+        if n_tasks < 0:
+            raise SchedulerError("n_tasks must be non-negative")
+        if threads < 1:
+            raise SchedulerError("threads must be >= 1")
+        self.n_tasks = n_tasks
+        self.threads = threads
+        self.schedule = schedule
+        self._next = 0
+        self._static_done = [False] * threads
+        if schedule.kind == "static":
+            base, extra = divmod(n_tasks, threads)
+            bounds = [0]
+            for tid in range(threads):
+                bounds.append(bounds[-1] + base + (1 if tid < extra else 0))
+            self._static_bounds = bounds
+        else:
+            self._static_bounds = None
+
+    def next_chunk(self, tid: int) -> tuple[int, int] | None:
+        """Return the next ``[lo, hi)`` task range for thread ``tid``.
+
+        Returns ``None`` when the thread has no more work.  Dynamic chunks
+        incur a scheduling fee charged by the engine; the cursor itself only
+        tracks assignment.
+        """
+        if self.schedule.kind == "static":
+            if self._static_done[tid]:
+                return None
+            self._static_done[tid] = True
+            lo = self._static_bounds[tid]
+            hi = self._static_bounds[tid + 1]
+            return (lo, hi) if hi > lo else None
+        if self._next >= self.n_tasks:
+            return None
+        lo = self._next
+        hi = min(lo + self.schedule.chunk, self.n_tasks)
+        self._next = hi
+        return lo, hi
+
+    @property
+    def dispensed(self) -> int:
+        """Number of task indices handed out so far (dynamic only)."""
+        if self.schedule.kind == "static":
+            return sum(
+                self._static_bounds[t + 1] - self._static_bounds[t]
+                for t in range(self.threads)
+                if self._static_done[t]
+            )
+        return self._next

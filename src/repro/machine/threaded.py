@@ -1,0 +1,91 @@
+"""Real-thread backend for race sanity checks.
+
+The simulated machine models races via happens-before intervals; this module
+runs the *same kernels* on genuine Python threads with a shared numpy color
+array and immediate writes.  Under the GIL the interleaving is
+nondeterministic at bytecode granularity, which is exactly what we want for
+a sanity check: the speculative color/remove loop must converge to a valid
+coloring no matter how threads interleave.
+
+No timing is collected here — the GIL makes wall-clock meaningless for
+shared-memory speedup claims (the very reason the simulator exists).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.engine import TaskContext
+
+__all__ = ["ThreadedExecutor"]
+
+
+class ThreadedExecutor:
+    """Executes phase kernels on real Python threads.
+
+    The kernel protocol is identical to the simulated engine's
+    (:class:`TaskContext`), so coloring kernels run unchanged; writes are
+    applied to the shared array as soon as the kernel returns (per task),
+    and queue appends go to thread-private lists merged afterwards.
+    """
+
+    def __init__(self, threads: int):
+        if threads < 1:
+            raise MachineError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self._thread_states = [{} for _ in range(threads)]
+
+    def parallel_for(
+        self,
+        n_tasks: int,
+        kernel: Callable[[int, TaskContext], None],
+        colors: np.ndarray,
+        chunk: int = 64,
+        task_ids=None,
+    ) -> list[int]:
+        """Run ``kernel`` over ``n_tasks`` tasks on real threads.
+
+        Returns the merged queue appends (thread order).  ``colors`` is
+        mutated in place.
+        """
+        lock = threading.Lock()
+        counter = [0]
+        queues: list[list[int]] = [[] for _ in range(self.threads)]
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            ctx = TaskContext()
+            try:
+                while True:
+                    with lock:
+                        lo = counter[0]
+                        if lo >= n_tasks:
+                            return
+                        hi = min(lo + chunk, n_tasks)
+                        counter[0] = hi
+                    for index in range(lo, hi):
+                        task_id = int(task_ids[index]) if task_ids is not None else index
+                        ctx.reset(colors, tid, self._thread_states[tid])
+                        kernel(task_id, ctx)
+                        # Immediate, unsynchronized writes — real races.
+                        for where, value in ctx.writes:
+                            colors[where] = value
+                        queues[tid].extend(ctx.appends)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=worker, args=(tid,), daemon=True)
+            for tid in range(self.threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            raise errors[0]
+        return [item for q in queues for item in q]

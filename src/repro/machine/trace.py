@@ -1,0 +1,45 @@
+"""Execution traces of simulated runs.
+
+The benchmark harness needs per-iteration, per-phase simulated timings to
+regenerate Figure 1 (iteration breakdown) and Figure 2 (total times), so the
+machine records every phase it executes into a :class:`RunTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import PhaseTiming
+
+__all__ = ["RunTrace"]
+
+
+@dataclass
+class RunTrace:
+    """Ordered record of the phases executed by one :class:`Machine` run.
+
+    Attributes
+    ----------
+    threads:
+        Simulated thread count.
+    phases:
+        Phase timings in execution order.
+    """
+
+    threads: int
+    phases: list[PhaseTiming] = field(default_factory=list)
+
+    def add(self, timing: PhaseTiming) -> None:
+        """Append one phase timing in execution order."""
+        self.phases.append(timing)
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(p.cycles for p in self.phases))
+
+    def cycles_by_kind(self, kind: str) -> float:
+        return float(sum(p.cycles for p in self.phases if p.kind == kind))
+
+    def clear(self) -> None:
+        """Forget all recorded phases."""
+        self.phases.clear()

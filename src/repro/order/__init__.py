@@ -1,0 +1,23 @@
+"""Vertex ordering heuristics (ColPack-style) for the greedy colorers."""
+
+from repro.order.orderings import (
+    natural_order,
+    random_order,
+    largest_first_order,
+    smallest_last_order,
+    incidence_degree_order,
+    bgpc_two_hop_degrees,
+    ORDERINGS,
+    get_ordering,
+)
+
+__all__ = [
+    "natural_order",
+    "random_order",
+    "largest_first_order",
+    "smallest_last_order",
+    "incidence_degree_order",
+    "bgpc_two_hop_degrees",
+    "ORDERINGS",
+    "get_ordering",
+]

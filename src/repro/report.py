@@ -1,0 +1,110 @@
+"""JSON serialization of coloring runs.
+
+A :class:`~repro.types.ColoringResult` carries everything a downstream
+pipeline needs (colors, per-round records, simulated timings); this module
+round-trips it through JSON so runs can be archived, diffed and compared
+across machines — every number is deterministic, so two archives of the same
+configuration must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.types import ColoringResult, IterationRecord, PhaseTiming
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def _timing_to_dict(timing: PhaseTiming | None) -> dict | None:
+    if timing is None:
+        return None
+    return {
+        "kind": timing.kind,
+        "cycles": timing.cycles,
+        "thread_cycles": list(timing.thread_cycles),
+        "tasks": timing.tasks,
+    }
+
+
+def _timing_from_dict(payload: dict | None) -> PhaseTiming | None:
+    if payload is None:
+        return None
+    return PhaseTiming(
+        kind=payload["kind"],
+        cycles=float(payload["cycles"]),
+        thread_cycles=tuple(float(c) for c in payload["thread_cycles"]),
+        tasks=int(payload["tasks"]),
+    )
+
+
+def result_to_dict(result: ColoringResult) -> dict:
+    """Plain-dict (JSON-safe) form of a coloring result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "threads": result.threads,
+        "num_colors": result.num_colors,
+        "cycles": result.cycles,
+        "colors": [int(c) for c in result.colors],
+        "iterations": [
+            {
+                "index": rec.index,
+                "queue_size": rec.queue_size,
+                "conflicts": rec.conflicts,
+                "color_timing": _timing_to_dict(rec.color_timing),
+                "remove_timing": _timing_to_dict(rec.remove_timing),
+            }
+            for rec in result.iterations
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ColoringResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Raises ``ValueError`` on an unknown format version so future formats
+    fail loudly instead of loading garbage.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported run-report format version {version!r} "
+            f"(this library reads {_FORMAT_VERSION})"
+        )
+    iterations = [
+        IterationRecord(
+            index=int(rec["index"]),
+            queue_size=int(rec["queue_size"]),
+            conflicts=int(rec["conflicts"]),
+            color_timing=_timing_from_dict(rec["color_timing"]),
+            remove_timing=_timing_from_dict(rec["remove_timing"]),
+        )
+        for rec in payload["iterations"]
+    ]
+    return ColoringResult(
+        colors=np.asarray(payload["colors"], dtype=np.int64),
+        num_colors=int(payload["num_colors"]),
+        iterations=iterations,
+        algorithm=str(payload["algorithm"]),
+        threads=int(payload["threads"]),
+        cycles=float(payload["cycles"]),
+    )
+
+
+def save_result(result: ColoringResult, path: str | Path) -> None:
+    """Write a run report as (stable, sorted-key) JSON."""
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(result_to_dict(result), fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+def load_result(path: str | Path) -> ColoringResult:
+    """Read a run report written by :func:`save_result`."""
+    with open(path, "r", encoding="ascii") as fh:
+        return result_from_dict(json.load(fh))

@@ -1,0 +1,201 @@
+"""Shared result dataclasses and type aliases used across :mod:`repro`.
+
+The coloring drivers, the simulated machine and the benchmark harness all
+exchange small, immutable-ish record types defined here so that no module
+needs to import another heavyweight module just for a return type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "IntArray",
+    "UNCOLORED",
+    "PhaseKind",
+    "PhaseTiming",
+    "IterationRecord",
+    "ColoringResult",
+    "ColorStats",
+]
+
+#: Canonical integer dtype for vertex ids, colors and CSR indices.
+IntArray = np.ndarray
+
+#: Sentinel for "not yet colored", matching the paper's convention of -1.
+UNCOLORED: int = -1
+
+
+class PhaseKind:
+    """String constants naming the two phases of the speculative template."""
+
+    COLOR = "color"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Simulated timing of one parallel phase.
+
+    Attributes
+    ----------
+    kind:
+        ``PhaseKind.COLOR`` or ``PhaseKind.REMOVE``.
+    cycles:
+        Simulated wall-clock of the phase: the maximum finishing cycle over
+        all hardware threads, minus the phase start cycle.
+    thread_cycles:
+        Per-thread busy cycles inside the phase (length = thread count).
+    tasks:
+        Number of parallel-for tasks executed in the phase.
+    """
+
+    kind: str
+    cycles: float
+    thread_cycles: tuple[float, ...]
+    tasks: int
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-thread busy cycles (1.0 == perfectly even)."""
+        busy = np.asarray(self.thread_cycles, dtype=np.float64)
+        mean = busy.mean()
+        if mean == 0:
+            return 1.0
+        return float(busy.max() / mean)
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One round of the speculative color/remove loop.
+
+    Attributes
+    ----------
+    index:
+        0-based iteration number.
+    queue_size:
+        |W|: vertices (BGPC) that entered the coloring phase this round.
+    conflicts:
+        |W_next|: vertices thrown back by conflict removal this round.
+    color_timing / remove_timing:
+        Simulated phase timings; ``remove_timing`` is ``None`` for the final
+        sequential run that needs no verification.
+    """
+
+    index: int
+    queue_size: int
+    conflicts: int
+    color_timing: PhaseTiming | None
+    remove_timing: PhaseTiming | None
+
+    @property
+    def cycles(self) -> float:
+        total = 0.0
+        if self.color_timing is not None:
+            total += self.color_timing.cycles
+        if self.remove_timing is not None:
+            total += self.remove_timing.cycles
+        return total
+
+
+@dataclass
+class ColoringResult:
+    """Full output of a coloring run.
+
+    Attributes
+    ----------
+    colors:
+        Color array over the colored vertex set (``V_A`` for BGPC, ``V`` for
+        D2GC); every entry is a non-negative int on success.
+    num_colors:
+        Number of distinct colors used (== ``colors.max() + 1``).
+    iterations:
+        Per-round records, in order.
+    algorithm:
+        Name of the algorithm spec that produced this run (e.g. ``"N1-N2"``).
+    threads:
+        Simulated thread count (1 for the sequential baseline).
+    cycles:
+        Total simulated wall-clock cycles across all phases.
+    """
+
+    colors: IntArray
+    num_colors: int
+    iterations: list[IterationRecord] = field(default_factory=list)
+    algorithm: str = ""
+    threads: int = 1
+    cycles: float = 0.0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_conflicts(self) -> int:
+        return int(sum(rec.conflicts for rec in self.iterations))
+
+    def phase_cycles(self, kind: str) -> float:
+        """Total simulated cycles spent in phases of the given kind."""
+        total = 0.0
+        for rec in self.iterations:
+            timing = rec.color_timing if kind == PhaseKind.COLOR else rec.remove_timing
+            if timing is not None:
+                total += timing.cycles
+        return total
+
+    def summary(self) -> str:
+        """One-paragraph human-readable run summary."""
+        lines = [
+            f"{self.algorithm}: {self.num_colors} colors on "
+            f"{self.colors.size} vertices, {self.threads} thread(s), "
+            f"{self.cycles:.0f} simulated cycles",
+            f"rounds: {self.num_iterations}, total conflicts: "
+            f"{self.total_conflicts}",
+        ]
+        for rec in self.iterations:
+            lines.append(
+                f"  round {rec.index}: |W|={rec.queue_size} -> "
+                f"{rec.conflicts} conflicts ({rec.cycles:.0f} cycles)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ColorStats:
+    """Cardinality statistics of the color classes of a coloring.
+
+    Produced by :func:`repro.core.metrics.color_stats`; consumed by the
+    Table VI / Figure 3 experiments.
+    """
+
+    num_colors: int
+    cardinalities: IntArray
+    mean: float
+    std: float
+    min: int
+    max: int
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean cardinality ratio (1.0 == equitable)."""
+        if self.mean == 0:
+            return 1.0
+        return float(self.max / self.mean)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean) of the cardinalities."""
+        if self.mean == 0:
+            return 0.0
+        return float(self.std / self.mean)
+
+
+def as_vertex_array(seq: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Coerce a vertex-id sequence to the canonical int64 ndarray."""
+    arr = np.asarray(seq, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D vertex array, got shape {arr.shape}")
+    return arr

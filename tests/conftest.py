@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_bipartite, random_graph
+from repro.graph.build import bipartite_from_dense, graph_from_edges
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_bipartite():
+    """A hand-written 3-net / 5-vertex instance.
+
+    nets: 0 -> {0, 1, 2}, 1 -> {2, 3}, 2 -> {3, 4}
+    Conflict pairs: (0,1), (0,2), (1,2), (2,3), (3,4).
+    Optimal BGPC uses 3 colors (net 0 is a triangle of conflicts).
+    """
+    pattern = np.array(
+        [
+            [1, 1, 1, 0, 0],
+            [0, 0, 1, 1, 0],
+            [0, 0, 0, 1, 1],
+        ]
+    )
+    return bipartite_from_dense(pattern)
+
+
+@pytest.fixture
+def small_bipartite():
+    """A 40-net / 60-vertex random instance, moderately dense."""
+    return random_bipartite(40, 60, density=0.08, seed=7)
+
+
+@pytest.fixture
+def medium_bipartite():
+    """A 150-net / 200-vertex random instance for parallel-run tests."""
+    return random_bipartite(150, 200, density=0.04, seed=3)
+
+
+@pytest.fixture
+def path_graph():
+    """P5: 0-1-2-3-4.  D2GC needs 3 colors."""
+    return graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], num_vertices=5)
+
+
+@pytest.fixture
+def star_graph():
+    """K1,6: center 0.  D2GC needs 7 colors (all vertices pairwise d<=2)."""
+    return graph_from_edges([(0, k) for k in range(1, 7)], num_vertices=7)
+
+
+@pytest.fixture
+def small_graph():
+    """An 80-vertex random graph with 240 edges."""
+    return random_graph(80, 240, seed=9)

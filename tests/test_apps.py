@@ -1,0 +1,187 @@
+"""Tests for the application layer (Jacobian, Hessian, SGD)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps import (
+    ColorSchedule,
+    HessianCompressor,
+    JacobianCompressor,
+    recover_jacobian,
+    seed_matrix,
+    sgd_factorize,
+)
+from repro.core.bgpc import color_bgpc
+from repro.core.policies import B2Policy
+from repro.datasets import random_bipartite
+from repro.errors import ColoringError
+
+
+@pytest.fixture(scope="module")
+def jac_pattern(  # noqa: PT005 - module-scoped deterministic pattern
+):
+    rng = np.random.default_rng(8)
+    dense = (rng.random((35, 50)) < 0.12).astype(float)
+    dense[0, :10] = 1.0  # a denser row to make the coloring non-trivial
+    return sparse.csr_matrix(dense)
+
+
+class TestSeedMatrix:
+    def test_shape_and_content(self):
+        seeds = seed_matrix(np.array([0, 1, 0, 2]))
+        assert seeds.shape == (4, 3)
+        assert seeds[0, 0] == 1 and seeds[2, 0] == 1
+        assert seeds.sum() == 4
+
+    def test_empty(self):
+        assert seed_matrix(np.array([], dtype=np.int64)).shape == (0, 0)
+
+
+class TestJacobian:
+    def test_exact_recovery_linear(self, jac_pattern):
+        rng = np.random.default_rng(1)
+        dense = jac_pattern.toarray() * rng.random(jac_pattern.shape)
+        compressor = JacobianCompressor(jac_pattern, algorithm="N1-N2", threads=8)
+        compressed = compressor.compress_product(dense)
+        recovered = recover_jacobian(
+            compressor.graph, compressor.colors, compressed
+        )
+        assert np.allclose(recovered.toarray(), dense)
+
+    def test_finite_difference_estimate(self, jac_pattern):
+        rng = np.random.default_rng(2)
+        dense = jac_pattern.toarray() * rng.random(jac_pattern.shape)
+
+        def func(x):
+            return dense @ x
+
+        compressor = JacobianCompressor(jac_pattern, algorithm="V-N2", threads=4)
+        estimate = compressor.estimate(func, np.zeros(dense.shape[1]))
+        assert np.allclose(estimate.toarray(), dense, atol=1e-6)
+
+    def test_sequential_algorithm(self, jac_pattern):
+        compressor = JacobianCompressor(jac_pattern, algorithm="sequential")
+        assert compressor.num_colors >= compressor.graph.color_lower_bound()
+
+    def test_compression_beats_identity(self, jac_pattern):
+        compressor = JacobianCompressor(jac_pattern, algorithm="N1-N2")
+        assert compressor.num_colors < jac_pattern.shape[1]
+        assert compressor.compression_ratio > 1.0
+
+    def test_rejects_wrong_x0_shape(self, jac_pattern):
+        compressor = JacobianCompressor(jac_pattern)
+        with pytest.raises(ColoringError, match="x0"):
+            compressor.estimate(lambda x: x, np.zeros(3))
+
+    def test_rejects_wrong_compressed_rows(self, jac_pattern):
+        compressor = JacobianCompressor(jac_pattern)
+        with pytest.raises(ColoringError, match="rows"):
+            recover_jacobian(
+                compressor.graph,
+                compressor.colors,
+                np.zeros((1, compressor.num_colors)),
+            )
+
+
+class TestHessian:
+    @pytest.fixture(scope="class")
+    def hessian(self):
+        n = 40
+        h = np.zeros((n, n))
+        rng = np.random.default_rng(3)
+        for i in range(n - 1):
+            h[i, i + 1] = h[i + 1, i] = rng.random() + 0.1
+        for i in range(n - 3):
+            h[i, i + 3] = h[i + 3, i] = rng.random() * 0.5
+        np.fill_diagonal(h, 2.0 + rng.random(n))
+        return h
+
+    def test_exact_recovery(self, hessian):
+        pattern = sparse.csr_matrix((hessian != 0).astype(float))
+        compressor = HessianCompressor(pattern, algorithm="N1-N2", threads=8)
+        compressed = hessian @ compressor.seed()
+        recovered = compressor.recover(compressed).toarray()
+        assert np.allclose(recovered, hessian)
+
+    def test_finite_difference(self, hessian):
+        pattern = sparse.csr_matrix((hessian != 0).astype(float))
+        compressor = HessianCompressor(pattern, algorithm="V-N1", threads=4)
+        estimate = compressor.estimate(lambda x: hessian @ x, np.zeros(len(hessian)))
+        assert np.allclose(estimate.toarray(), hessian, atol=1e-5)
+
+    def test_fewer_colors_than_n(self, hessian):
+        pattern = sparse.csr_matrix((hessian != 0).astype(float))
+        compressor = HessianCompressor(pattern)
+        assert compressor.num_colors < len(hessian)
+
+    def test_rejects_bad_compressed_shape(self, hessian):
+        pattern = sparse.csr_matrix((hessian != 0).astype(float))
+        compressor = HessianCompressor(pattern)
+        with pytest.raises(ColoringError):
+            compressor.recover(np.zeros((2, 2)))
+
+
+class TestSchedule:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return random_bipartite(50, 70, density=0.08, seed=13)
+
+    def test_classes_partition_columns(self, instance):
+        result = color_bgpc(instance, algorithm="N1-N2", threads=8)
+        schedule = ColorSchedule(instance, result.colors)
+        all_members = np.sort(np.concatenate(schedule.classes))
+        assert np.array_equal(all_members, np.arange(instance.num_vertices))
+
+    def test_lock_freedom_invariant(self, instance):
+        result = color_bgpc(instance, algorithm="V-N2", threads=8)
+        ColorSchedule(instance, result.colors).assert_lock_free()
+
+    def test_invalid_coloring_rejected(self, instance):
+        bad = np.zeros(instance.num_vertices, dtype=np.int64)
+        from repro.errors import InvalidColoringError
+
+        with pytest.raises(InvalidColoringError):
+            ColorSchedule(instance, bad)
+
+    def test_stats(self, instance):
+        result = color_bgpc(instance, algorithm="N1-N2", threads=8)
+        schedule = ColorSchedule(instance, result.colors)
+        stats = schedule.stats(cores=8)
+        assert 0 < stats.utilization <= 1.0
+        assert stats.actual_rounds >= stats.ideal_rounds
+
+    def test_stats_rejects_bad_cores(self, instance):
+        result = color_bgpc(instance, algorithm="N1-N2", threads=8)
+        with pytest.raises(ColoringError):
+            ColorSchedule(instance, result.colors).stats(cores=0)
+
+
+class TestSgd:
+    def test_loss_decreases(self):
+        bg = random_bipartite(40, 60, density=0.1, seed=17)
+        rng = np.random.default_rng(17)
+        true_p = rng.normal(size=(40, 3))
+        true_q = rng.normal(size=(60, 3))
+        users = np.repeat(np.arange(40), bg.net_to_vtxs.degrees())
+        items = bg.net_to_vtxs.idx
+        values = np.einsum("ij,ij->i", true_p[users], true_q[items])
+        _, _, losses, stats = sgd_factorize(
+            bg, values, rank=3, epochs=6, threads=8, seed=0
+        )
+        assert losses[-1] < losses[0]
+        assert stats.num_steps > 0
+
+    def test_balanced_schedule_not_worse(self):
+        bg = random_bipartite(60, 120, density=0.06, seed=23)
+        values = np.ones(bg.num_edges)
+        _, _, _, unbalanced = sgd_factorize(bg, values, epochs=1, threads=16)
+        _, _, _, balanced = sgd_factorize(
+            bg, values, epochs=1, threads=16, policy=B2Policy()
+        )
+        assert balanced.utilization >= unbalanced.utilization * 0.9
+
+    def test_rejects_wrong_values_shape(self):
+        bg = random_bipartite(10, 10, density=0.2, seed=1)
+        with pytest.raises(ColoringError):
+            sgd_factorize(bg, np.ones(3))

@@ -1,0 +1,92 @@
+"""Tests for the B1/B2 balancing heuristics at the algorithm level."""
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, color_d2gc, validate_bgpc, validate_d2gc
+from repro.core.metrics import color_stats
+from repro.core.policies import B1Policy, B2Policy
+from repro.datasets import random_bipartite, random_graph
+
+
+@pytest.fixture(scope="module")
+def dense_bipartite():
+    """Dense enough that first-fit produces a skewed class profile."""
+    return random_bipartite(120, 300, density=0.05, seed=21)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("policy", [B1Policy(), B2Policy()])
+    @pytest.mark.parametrize("alg", ["V-N2", "N1-N2"])
+    def test_bgpc_valid(self, dense_bipartite, policy, alg):
+        result = color_bgpc(
+            dense_bipartite, algorithm=alg, threads=16, policy=policy
+        )
+        validate_bgpc(dense_bipartite, result.colors)
+
+    @pytest.mark.parametrize("policy", [B1Policy(), B2Policy()])
+    def test_d2gc_valid(self, policy):
+        g = random_graph(120, 400, seed=2)
+        result = color_d2gc(g, algorithm="V-N2", threads=16, policy=policy)
+        validate_d2gc(g, result.colors)
+
+
+class TestBalancingEffect:
+    def test_b1_reduces_std(self, dense_bipartite):
+        base = color_bgpc(dense_bipartite, algorithm="V-N2", threads=16)
+        b1 = color_bgpc(
+            dense_bipartite, algorithm="V-N2", threads=16, policy=B1Policy()
+        )
+        assert color_stats(b1.colors).std < color_stats(base.colors).std
+
+    def test_b2_reduces_std(self, dense_bipartite):
+        base = color_bgpc(dense_bipartite, algorithm="V-N2", threads=16)
+        b2 = color_bgpc(
+            dense_bipartite, algorithm="V-N2", threads=16, policy=B2Policy()
+        )
+        assert color_stats(b2.colors).std < color_stats(base.colors).std
+
+    def test_b2_shrinks_largest_class(self, dense_bipartite):
+        base = color_bgpc(dense_bipartite, algorithm="V-N2", threads=16)
+        b2 = color_bgpc(
+            dense_bipartite, algorithm="V-N2", threads=16, policy=B2Policy()
+        )
+        assert color_stats(b2.colors).max <= color_stats(base.colors).max
+
+    def test_colors_increase_bounded(self, dense_bipartite):
+        """Balancing may add colors, but only a modest fraction (paper: ~10%)."""
+        base = color_bgpc(dense_bipartite, algorithm="V-N2", threads=16)
+        for policy in (B1Policy(), B2Policy()):
+            balanced = color_bgpc(
+                dense_bipartite, algorithm="V-N2", threads=16, policy=policy
+            )
+            assert balanced.num_colors <= int(base.num_colors * 1.35) + 2
+
+    def test_balancing_is_nearly_free(self, dense_bipartite):
+        """Table VI's headline: no significant runtime overhead."""
+        base = color_bgpc(dense_bipartite, algorithm="V-N2", threads=16)
+        b1 = color_bgpc(
+            dense_bipartite, algorithm="V-N2", threads=16, policy=B1Policy()
+        )
+        assert b1.cycles <= base.cycles * 1.25
+
+
+class TestThreadPrivacy:
+    def test_policy_state_is_per_thread(self, dense_bipartite):
+        """Two different thread counts must both converge and stay valid —
+        the thread-private colmax/colnext state never leaks across runs."""
+        for threads in (2, 7, 16):
+            result = color_bgpc(
+                dense_bipartite,
+                algorithm="N1-N2",
+                threads=threads,
+                policy=B2Policy(),
+            )
+            validate_bgpc(dense_bipartite, result.colors)
+
+    def test_policy_instance_reusable(self, dense_bipartite):
+        """Policies hold no instance state; reusing one is safe."""
+        policy = B1Policy()
+        a = color_bgpc(dense_bipartite, algorithm="V-N2", threads=8, policy=policy)
+        b = color_bgpc(dense_bipartite, algorithm="V-N2", threads=8, policy=policy)
+        assert np.array_equal(a.colors, b.colors)

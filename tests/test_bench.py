@@ -1,0 +1,184 @@
+"""Tests for the benchmark harness (runner, tables, experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Experiment, clear_cache, geomean, render_table
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.runner import run_algorithm, run_sequential_baseline
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([5]) == pytest.approx(5.0)
+        assert np.isnan(geomean([]))
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbb"], [(1, 2.5), (100, 0.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "bbb" in lines[0]
+        assert "100" in lines[3]
+
+    def test_experiment_render(self):
+        exp = Experiment(
+            id="x", title="t", header=["h"], rows=[(1,)], notes="note"
+        )
+        text = exp.render()
+        assert "== x: t ==" in text
+        assert "note" in text
+
+
+class TestRunnerCache:
+    def test_sequential_memoized(self):
+        a = run_sequential_baseline("kkt", "tiny")
+        b = run_sequential_baseline("kkt", "tiny")
+        assert a is b
+
+    def test_algorithm_memoized_per_key(self):
+        a = run_algorithm("kkt", "V-N1", 4, "tiny")
+        b = run_algorithm("kkt", "V-N1", 4, "tiny")
+        c = run_algorithm("kkt", "V-N1", 8, "tiny")
+        assert a is b
+        assert a is not c
+
+    def test_d2gc_problem(self):
+        result = run_algorithm("channel", "V-N1", 4, "tiny", problem="d2gc")
+        assert result.num_colors > 0
+
+    def test_ordering_parameter(self):
+        nat = run_sequential_baseline("kkt", "tiny", ordering="natural")
+        sl = run_sequential_baseline("kkt", "tiny", ordering="smallest-last")
+        assert sl.num_colors <= nat.num_colors + 2
+
+
+class TestExperimentsTinyScale:
+    """Every experiment must regenerate cleanly at tiny scale."""
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "figure1", "figure2", "figure3", "ablations", "manycore",
+        }
+
+    @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",
+                                      "figure3", "ablations", "manycore"])
+    def test_runs_and_renders(self, name):
+        experiment = ALL_EXPERIMENTS[name](scale="tiny", threads=8)
+        assert experiment.rows
+        text = experiment.render()
+        assert experiment.id in text
+
+    def test_table1_counts_bounded(self):
+        exp = ALL_EXPERIMENTS["table1"](scale="tiny", threads=8)
+        for row in exp.rows:
+            _, total, *remaining = row
+            assert all(0 <= r <= total for r in remaining)
+
+    def test_table2_has_all_datasets(self):
+        exp = ALL_EXPERIMENTS["table2"](scale="tiny")
+        assert len(exp.rows) == 8
+
+    def test_figure3_curves_sorted(self):
+        exp = ALL_EXPERIMENTS["figure3"](scale="tiny", threads=8)
+        for curve in exp.data["curves"].values():
+            assert np.all(np.diff(curve) <= 0)
+
+    def test_table6_baseline_rows_are_one(self):
+        exp = ALL_EXPERIMENTS["table6"](scale="tiny", threads=8)
+        for row in exp.rows:
+            if row[0].endswith("-U"):
+                assert row[1:] == (1.0, 1.0, 1.0, 1.0)
+
+
+class TestCli:
+    def test_main_runs_one_experiment(self, capsys, tmp_path):
+        from repro.bench.__main__ import main
+
+        out_file = tmp_path / "out.txt"
+        code = main(["table2", "--scale", "tiny", "--output", str(out_file)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "table2" in captured
+        assert out_file.read_text().strip()
+
+    def test_main_rejects_unknown(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_csv_export_matches_rows(self, tmp_path, capsys):
+        import csv
+
+        from repro.bench.__main__ import main
+
+        main(["table1", "--scale", "tiny", "--csv-dir", str(tmp_path)])
+        capsys.readouterr()
+        with open(tmp_path / "table1.csv") as fh:
+            rows = list(csv.reader(fh))
+        experiment = ALL_EXPERIMENTS["table1"](scale="tiny")
+        assert rows[0] == experiment.header
+        assert len(rows) == len(experiment.rows) + 1
+        for got, expected in zip(rows[1:], experiment.rows):
+            assert got == [str(v) for v in expected]
+
+
+class TestSpeedupTableInvariants:
+    def test_rows_cover_all_algorithms(self):
+        from repro.bench.experiments.table3 import speedup_table
+        from repro.core.bgpc import BGPC_ALGORITHMS
+
+        rows, raw = speedup_table("natural", "tiny")
+        assert {row[0] for row in rows} == set(BGPC_ALGORITHMS)
+        assert set(raw) == set(BGPC_ALGORITHMS)
+
+    def test_speedups_positive_and_finite(self):
+        from repro.bench.experiments.table3 import speedup_table
+
+        _, raw = speedup_table("natural", "tiny")
+        for alg, entry in raw.items():
+            assert all(s > 0 for s in entry["speedups"]), alg
+            assert entry["colors"] > 0
+
+    def test_vv_over_vv_is_one(self):
+        from repro.bench.experiments.table3 import speedup_table
+
+        _, raw = speedup_table("natural", "tiny")
+        assert raw["V-V"]["over_vv16"] == pytest.approx(1.0)
+
+
+class TestTableFormatting:
+    def test_large_and_small_floats_scientific(self):
+        out = render_table(["v"], [(123456.0,), (0.0001,), (0.5,), (0,)])
+        assert "1.235e+05" in out
+        assert "1.000e-04" in out
+        assert "0.50" in out
+
+    def test_experiment_to_csv_types(self, tmp_path):
+        exp = Experiment(
+            id="x", title="t", header=["a", "b"], rows=[(1, 2.5), ("s", 0)]
+        )
+        path = tmp_path / "x.csv"
+        exp.to_csv(path)
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2.5"
+
+
+class TestManycoreHelpers:
+    def test_task_size_cv_square_instance(self):
+        from repro.bench.experiments.manycore import task_size_cv
+
+        v_cv, n_cv = task_size_cv("channel", "tiny")
+        assert v_cv > 0 and n_cv > 0
+        # On the regular mesh, net tasks are more uniform than vertex tasks.
+        assert n_cv < v_cv

@@ -1,0 +1,162 @@
+"""Tests for the eight parallel BGPC algorithm variants."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BGPC_ALGORITHMS,
+    color_bgpc,
+    sequential_bgpc,
+    validate_bgpc,
+)
+from repro.errors import ColoringError
+from repro.machine.cost import CostModel
+
+ALGS = sorted(BGPC_ALGORITHMS)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("alg", ALGS)
+    @pytest.mark.parametrize("threads", [1, 2, 16])
+    def test_always_valid(self, medium_bipartite, alg, threads):
+        result = color_bgpc(medium_bipartite, algorithm=alg, threads=threads)
+        validate_bgpc(medium_bipartite, result.colors)
+        assert result.num_colors >= medium_bipartite.color_lower_bound()
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_valid_on_tiny(self, tiny_bipartite, alg):
+        result = color_bgpc(tiny_bipartite, algorithm=alg, threads=4)
+        validate_bgpc(tiny_bipartite, result.colors)
+
+    def test_empty_graph(self):
+        from repro.graph import bipartite_from_edges
+
+        bg = bipartite_from_edges([], num_vertices=0, num_nets=0)
+        result = color_bgpc(bg, algorithm="N1-N2", threads=4)
+        assert result.num_colors == 0
+
+    def test_isolated_vertices(self):
+        from repro.graph import bipartite_from_edges
+
+        bg = bipartite_from_edges([(0, 0)], num_vertices=5, num_nets=1)
+        result = color_bgpc(bg, algorithm="V-V", threads=4)
+        validate_bgpc(bg, result.colors)
+        assert result.num_colors == 1  # everything can share color 0
+
+    def test_unknown_algorithm(self, tiny_bipartite):
+        with pytest.raises(KeyError, match="unknown BGPC algorithm"):
+            color_bgpc(tiny_bipartite, algorithm="X-Y")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("alg", ["V-V", "V-V-64D", "N1-N2"])
+    def test_rerun_identical(self, medium_bipartite, alg):
+        a = color_bgpc(medium_bipartite, algorithm=alg, threads=8)
+        b = color_bgpc(medium_bipartite, algorithm=alg, threads=8)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.cycles == b.cycles
+        assert [r.conflicts for r in a.iterations] == [
+            r.conflicts for r in b.iterations
+        ]
+
+
+class TestSequentialEquivalence:
+    def test_one_thread_no_conflicts(self, medium_bipartite):
+        """A 1-thread run has no interval overlap, hence zero conflicts."""
+        result = color_bgpc(medium_bipartite, algorithm="V-V-64D", threads=1)
+        assert result.total_conflicts == 0
+        assert result.num_iterations == 1
+
+    def test_one_thread_matches_sequential_colors(self, medium_bipartite):
+        seq = sequential_bgpc(medium_bipartite)
+        par = color_bgpc(medium_bipartite, algorithm="V-V-64D", threads=1)
+        assert np.array_equal(seq.colors, par.colors)
+
+
+class TestRaceBehaviour:
+    def test_conflicts_grow_with_threads(self, medium_bipartite):
+        conflicts = [
+            color_bgpc(
+                medium_bipartite, algorithm="V-V-64D", threads=t
+            ).total_conflicts
+            for t in (1, 4, 16)
+        ]
+        assert conflicts[0] == 0
+        assert conflicts[2] >= conflicts[1] >= 0
+
+    def test_race_window_controls_conflicts(self, medium_bipartite):
+        narrow = color_bgpc(
+            medium_bipartite,
+            algorithm="V-V-64D",
+            threads=16,
+            cost=CostModel(race_window_pct=1),
+        )
+        wide = color_bgpc(
+            medium_bipartite,
+            algorithm="V-V-64D",
+            threads=16,
+            cost=CostModel(race_window_pct=100),
+        )
+        assert wide.total_conflicts >= narrow.total_conflicts
+
+    def test_iteration_records_consistent(self, medium_bipartite):
+        result = color_bgpc(medium_bipartite, algorithm="V-N2", threads=16)
+        # Each round's conflicts become the next round's queue.
+        for prev, cur in zip(result.iterations, result.iterations[1:]):
+            assert cur.queue_size == prev.conflicts
+        assert result.iterations[-1].conflicts == 0
+        assert result.iterations[0].queue_size == medium_bipartite.num_vertices
+
+
+class TestTimingShape:
+    def test_net_removal_cheaper_in_first_iteration(self, medium_bipartite):
+        """The paper's core claim: net-based removal is linear, vertex-based
+        quadratic, so V-N1's first removal phase is cheaper than V-V-64D's."""
+        v_v = color_bgpc(medium_bipartite, algorithm="V-V-64D", threads=16)
+        v_n = color_bgpc(medium_bipartite, algorithm="V-N1", threads=16)
+        assert (
+            v_n.iterations[0].remove_timing.cycles
+            < v_v.iterations[0].remove_timing.cycles
+        )
+
+    def test_net_coloring_cheaper_in_first_iteration(self, medium_bipartite):
+        v_n2 = color_bgpc(medium_bipartite, algorithm="V-N2", threads=16)
+        n1_n2 = color_bgpc(medium_bipartite, algorithm="N1-N2", threads=16)
+        assert (
+            n1_n2.iterations[0].color_timing.cycles
+            < v_n2.iterations[0].color_timing.cycles
+        )
+
+    def test_more_threads_faster_first_phase_fine_chunks(self, medium_bipartite):
+        """With chunk-1 scheduling there is no chunk quantization, so the
+        big first coloring phase must get faster with more threads."""
+        t2 = color_bgpc(medium_bipartite, algorithm="V-V", threads=2)
+        t16 = color_bgpc(medium_bipartite, algorithm="V-V", threads=16)
+        assert t16.iterations[0].color_timing.cycles <= t2.iterations[0].color_timing.cycles
+
+    def test_result_cycles_is_sum_of_phases(self, medium_bipartite):
+        result = color_bgpc(medium_bipartite, algorithm="V-N2", threads=8)
+        total = sum(rec.cycles for rec in result.iterations)
+        assert result.cycles == pytest.approx(total)
+
+
+class TestOrdering:
+    def test_order_restored_to_original_ids(self, medium_bipartite):
+        from repro.order import smallest_last_order
+
+        order = smallest_last_order(medium_bipartite)
+        result = color_bgpc(
+            medium_bipartite, algorithm="N1-N2", threads=8, order=order
+        )
+        validate_bgpc(medium_bipartite, result.colors)
+
+
+class TestConvergenceGuard:
+    def test_max_iterations_raises(self, medium_bipartite):
+        with pytest.raises(ColoringError, match="did not converge"):
+            color_bgpc(
+                medium_bipartite,
+                algorithm="V-V",
+                threads=16,
+                max_iterations=1,
+            )

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` coloring CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import bipartite_from_dense, write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    pattern = (rng.random((20, 30)) < 0.15).astype(int)
+    bg = bipartite_from_dense(pattern)
+    path = tmp_path / "instance.mtx"
+    write_matrix_market(bg, path)
+    return path
+
+
+@pytest.fixture
+def symmetric_mtx(tmp_path, rng):
+    base = (rng.random((25, 25)) < 0.1).astype(int)
+    sym = ((base + base.T + np.eye(25, dtype=int)) > 0).astype(int)
+    bg = bipartite_from_dense(sym)
+    path = tmp_path / "sym.mtx"
+    write_matrix_market(bg, path)
+    return path
+
+
+class TestCli:
+    def test_default_bgpc(self, mtx_file, capsys):
+        assert main([str(mtx_file)]) == 0
+        out = capsys.readouterr().out
+        assert "colors" in out
+        assert "N1-N2" in out
+
+    def test_sequential(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--algorithm", "sequential"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_d2gc_problem(self, symmetric_mtx, capsys):
+        assert main([str(symmetric_mtx), "--problem", "d2gc"]) == 0
+        assert "d2gc" in capsys.readouterr().out
+
+    def test_ordering_and_policy(self, mtx_file, capsys):
+        code = main(
+            [str(mtx_file), "--ordering", "smallest-last", "--policy", "B2"]
+        )
+        assert code == 0
+
+    def test_output_file(self, mtx_file, tmp_path, capsys):
+        out_path = tmp_path / "colors.txt"
+        assert main([str(mtx_file), "--output", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 30
+        assert all(int(line) >= 0 for line in lines)
+
+    def test_unknown_algorithm_rejected(self, mtx_file):
+        with pytest.raises(SystemExit):
+            main([str(mtx_file), "--algorithm", "bogus"])
+
+    def test_threads_flag(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--threads", "4"]) == 0
+        assert "4 simulated threads" in capsys.readouterr().out
+
+
+class TestCliErrors:
+    def test_missing_file_graceful(self, capsys):
+        assert main(["/nonexistent/never.mtx"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_d2gc_on_rectangular_graceful(self, mtx_file, capsys):
+        # The 20x30 pattern cannot be symmetrized into a D2GC instance.
+        assert main([str(mtx_file), "--problem", "d2gc"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_mtx_graceful(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("not a matrix market file\n")
+        assert main([str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    PAPER_DATASETS,
+    bgpc_dataset_names,
+    cfd_like,
+    channel_mesh,
+    copapers_like,
+    d2gc_dataset_names,
+    kkt_like,
+    load_dataset,
+    movielens_like,
+    random_bipartite,
+    random_graph,
+    shell_mesh,
+    stencil3d,
+    web_like,
+)
+from repro.datasets.registry import load_d2gc_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_eight_paper_datasets(self):
+        assert len(PAPER_DATASETS) == 8
+        assert set(bgpc_dataset_names()) == set(DATASETS)
+
+    def test_five_symmetric_for_d2gc(self):
+        assert set(d2gc_dataset_names()) == {
+            "af_shell", "bone", "channel", "copapers", "kkt",
+        }
+
+    def test_all_tiny_instances_build(self):
+        for name in bgpc_dataset_names():
+            bg = load_dataset(name, "tiny")
+            assert bg.num_vertices > 0
+            assert bg.num_edges > 0
+
+    def test_symmetry_flags_match_structure(self):
+        for spec in PAPER_DATASETS:
+            bg = load_dataset(spec.name, "tiny")
+            assert bg.is_structurally_symmetric() == spec.d2gc, spec.name
+
+    def test_d2gc_loader_rejects_asymmetric(self):
+        with pytest.raises(DatasetError, match="not structurally"):
+            load_d2gc_dataset("web", "tiny")
+
+    def test_d2gc_loader_returns_graph(self):
+        g = load_d2gc_dataset("channel", "tiny")
+        assert g.num_vertices == load_dataset("channel", "tiny").num_vertices
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            load_dataset("channel", "huge")
+
+    def test_caching(self):
+        assert load_dataset("kkt", "tiny") is load_dataset("kkt", "tiny")
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: movielens_like(num_nets=30, num_vertices=90, avg_net_size=6,
+                                   max_net_size=30, seed=1),
+            lambda: web_like(num_vertices=80, avg_degree=4, max_degree=20, seed=1),
+            lambda: copapers_like(num_vertices=80, num_cliques=25, max_clique=10,
+                                  seed=1),
+            lambda: cfd_like(num_vertices=60, block=6, extra_links=1, seed=1),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        a, b = factory(), factory()
+        assert a.net_to_vtxs.sorted() == b.net_to_vtxs.sorted()
+
+
+class TestStructuralTraits:
+    def test_movielens_giant_net(self):
+        bg = movielens_like(num_nets=40, num_vertices=200, avg_net_size=6,
+                            max_net_size=100, seed=2)
+        assert bg.color_lower_bound() == 100  # the blockbuster net
+
+    def test_movielens_rectangular(self):
+        bg = load_dataset("movielens", "tiny")
+        assert bg.num_nets != bg.num_vertices
+
+    def test_channel_regular_interior_degree(self):
+        bg = channel_mesh(nx=8, ny=6, nz=6)
+        degs = bg.vtx_to_nets.degrees()
+        # interior vertices: 18 neighbours + diagonal = 19
+        assert degs.max() == 19
+        assert np.median(degs) >= 13
+
+    def test_shell_bounded_degree(self):
+        bg = shell_mesh(nx=12, ny=12)
+        assert bg.vtx_to_nets.max_degree() <= 25
+
+    def test_stencil3d_degree_band(self):
+        bg = stencil3d(nx=6, ny=6, nz=6)
+        # 27-point stencil plus 3 axial second-shell links and diagonal
+        assert 27 <= bg.vtx_to_nets.max_degree() <= 34
+
+    def test_copapers_clique_union(self):
+        bg = copapers_like(num_vertices=100, num_cliques=30, max_clique=12, seed=4)
+        # a clique-heavy graph: max degree well above the average
+        degs = bg.vtx_to_nets.degrees()
+        assert degs.max() > 2 * degs.mean()
+
+    def test_cfd_block_structure(self):
+        bg = cfd_like(num_vertices=60, block=6, extra_links=0, seed=0)
+        # without extras, every net covers exactly its block
+        assert bg.color_lower_bound() == 6
+
+    def test_kkt_symmetric(self):
+        bg = kkt_like(grid=(4, 4, 3), num_constraints=20, vars_per_constraint=4)
+        assert bg.is_structurally_symmetric()
+
+    def test_web_square_asymmetric(self):
+        bg = web_like(num_vertices=100, avg_degree=4, max_degree=25, seed=3)
+        assert bg.num_nets == bg.num_vertices
+        assert not bg.is_structurally_symmetric()
+
+
+class TestGeneratorErrors:
+    def test_movielens_bad_dims(self):
+        with pytest.raises(DatasetError):
+            movielens_like(num_nets=0, num_vertices=5)
+
+    def test_cfd_block_too_big(self):
+        with pytest.raises(DatasetError):
+            cfd_like(num_vertices=5, block=10)
+
+    def test_stencil_too_small(self):
+        with pytest.raises(DatasetError):
+            stencil3d(nx=1, ny=5, nz=5)
+
+    def test_random_bipartite_bad_density(self):
+        with pytest.raises(DatasetError):
+            random_bipartite(5, 5, density=1.5)
+
+    def test_random_graph_too_many_edges(self):
+        with pytest.raises(DatasetError):
+            random_graph(4, 100)
+
+
+class TestRandomInstances:
+    def test_random_bipartite_counts(self):
+        bg = random_bipartite(20, 30, density=0.1, seed=0)
+        assert bg.num_nets == 20
+        assert bg.num_vertices == 30
+
+    def test_random_graph_exact_edges(self):
+        g = random_graph(30, 50, seed=1)
+        assert g.num_edges == 50
+        assert g.num_vertices == 30

@@ -1,0 +1,53 @@
+"""End-to-end determinism: identical outputs across repeated executions.
+
+Determinism is a design guarantee (DESIGN.md, docs/simulator.md): every
+experiment must regenerate bit-identical rows when all caches are dropped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import clear_cache
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", ["table1", "table6", "figure3"])
+def test_experiment_rows_identical_across_runs(name):
+    clear_cache()
+    first = ALL_EXPERIMENTS[name](scale="tiny", threads=8)
+    clear_cache()
+    second = ALL_EXPERIMENTS[name](scale="tiny", threads=8)
+    assert first.rows == second.rows
+
+
+def test_dataset_rebuild_identical():
+    from repro.datasets.registry import DATASETS
+
+    for spec in DATASETS.values():
+        a = spec.build("tiny")
+        b = spec.build("tiny")
+        assert a.net_to_vtxs.sorted() == b.net_to_vtxs.sorted(), spec.name
+
+
+def test_full_run_identical_after_cache_clear():
+    from repro.bench.runner import run_algorithm
+
+    clear_cache()
+    a = run_algorithm("channel", "N1-N2", 16, "tiny")
+    clear_cache()
+    b = run_algorithm("channel", "N1-N2", 16, "tiny")
+    assert np.array_equal(a.colors, b.colors)
+    assert a.cycles == b.cycles
+    assert [r.conflicts for r in a.iterations] == [r.conflicts for r in b.iterations]
+
+
+def test_ordering_cache_transparent():
+    """Cached vs freshly computed smallest-last runs must agree."""
+    from repro.bench.runner import run_sequential_baseline
+
+    clear_cache()
+    a = run_sequential_baseline("kkt", "tiny", ordering="smallest-last")
+    clear_cache()
+    b = run_sequential_baseline("kkt", "tiny", ordering="smallest-last")
+    assert np.array_equal(a.colors, b.colors)
+    assert a.num_colors == b.num_colors

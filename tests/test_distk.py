@@ -1,0 +1,119 @@
+"""Tests for the distance-k extension (paper §VIII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distk import (
+    ball,
+    color_distk,
+    is_valid_distk,
+    sequential_distk,
+    validate_distk,
+)
+from repro.datasets import random_graph
+from repro.errors import ColoringError, InvalidColoringError
+from repro.graph import graph_from_edges
+
+
+@pytest.fixture
+def cycle10():
+    edges = [(i, (i + 1) % 10) for i in range(10)]
+    return graph_from_edges(edges, num_vertices=10)
+
+
+class TestBall:
+    def test_radius_zero_empty(self, path_graph):
+        assert ball(path_graph, 2, 0).size == 0
+
+    def test_radius_one_is_nbor(self, path_graph):
+        assert sorted(ball(path_graph, 1, 1)) == [0, 2]
+
+    def test_radius_two_matches_distance2(self, small_graph):
+        for v in range(0, small_graph.num_vertices, 9):
+            expected = sorted(small_graph.distance2_neighbors(v))
+            assert sorted(ball(small_graph, v, 2)) == expected
+
+    def test_radius_covers_whole_component(self, path_graph):
+        assert sorted(ball(path_graph, 0, 10)) == [1, 2, 3, 4]
+
+    def test_cycle_radius3(self, cycle10):
+        assert sorted(ball(cycle10, 0, 3)) == [1, 2, 3, 7, 8, 9]
+
+
+class TestK2MatchesD2gc:
+    def test_same_validity_notion(self, small_graph):
+        from repro import color_d2gc
+
+        result = color_d2gc(small_graph, algorithm="V-V-64D", threads=4)
+        validate_distk(small_graph, 2, result.colors)
+
+    def test_distk_coloring_valid_for_d2gc(self, small_graph):
+        from repro import validate_d2gc
+
+        result = color_distk(small_graph, 2, algorithm="N1-N2", threads=8)
+        validate_d2gc(small_graph, result.colors)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_sequential_valid(self, cycle10, k):
+        result = sequential_distk(cycle10, k)
+        validate_distk(cycle10, k, result.colors)
+
+    def test_cycle_k3_needs_four(self, cycle10):
+        # C10 with k=3: any 4 consecutive vertices are mutually within 3.
+        result = sequential_distk(cycle10, 3)
+        assert result.num_colors >= 4
+
+    @pytest.mark.parametrize("k", [2, 4])
+    @pytest.mark.parametrize("alg", ["V-V-64D", "V-N1", "N1-N2"])
+    def test_parallel_even_k(self, k, alg):
+        g = random_graph(60, 120, seed=41)
+        result = color_distk(g, k, algorithm=alg, threads=8)
+        validate_distk(g, k, result.colors)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_parallel_odd_k_vertex_based(self, k):
+        g = random_graph(50, 100, seed=43)
+        result = color_distk(g, k, algorithm="V-V-64D", threads=8)
+        validate_distk(g, k, result.colors)
+
+    def test_odd_k_rejects_net_based(self, cycle10):
+        with pytest.raises(ColoringError, match="even k"):
+            color_distk(cycle10, 3, algorithm="N1-N2", threads=4)
+
+    def test_k_must_be_positive(self, cycle10):
+        with pytest.raises(ColoringError):
+            sequential_distk(cycle10, 0)
+
+    def test_unknown_algorithm(self, cycle10):
+        with pytest.raises(KeyError):
+            color_distk(cycle10, 2, algorithm="Z")
+
+    def test_larger_k_needs_more_colors(self):
+        g = random_graph(70, 140, seed=44)
+        counts = [sequential_distk(g, k).num_colors for k in (1, 2, 3)]
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_deterministic(self, cycle10):
+        a = color_distk(cycle10, 2, algorithm="N1-N2", threads=8)
+        b = color_distk(cycle10, 2, algorithm="N1-N2", threads=8)
+        assert np.array_equal(a.colors, b.colors)
+
+
+class TestValidator:
+    def test_detects_planted_conflict(self, cycle10):
+        colors = np.arange(10)
+        colors[3] = colors[0]  # distance 3 apart
+        assert is_valid_distk(cycle10, 2, colors)
+        assert not is_valid_distk(cycle10, 3, colors)
+
+    def test_rejects_incomplete(self, cycle10):
+        colors = np.arange(10)
+        colors[0] = -1
+        with pytest.raises(InvalidColoringError):
+            validate_distk(cycle10, 2, colors)
+
+    def test_rejects_bad_shape(self, cycle10):
+        with pytest.raises(InvalidColoringError):
+            validate_distk(cycle10, 2, np.arange(3))

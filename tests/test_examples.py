@@ -1,0 +1,39 @@
+"""Smoke tests that every example script runs to completion.
+
+The examples double as integration tests: each asserts its own correctness
+conditions (exact recovery, decreasing loss) and raises on failure.  The
+Table-III sweep example is exercised on the tiny registry scale elsewhere
+(benchmarks), so it is excluded here to keep the suite fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "jacobian_compression.py",
+    "hessian_recovery.py",
+    "movielens_sgd.py",
+    "distance_k.py",
+    "hypergraph_coloring.py",
+    "distributed_coloring.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "speedup_sweep.py" in present

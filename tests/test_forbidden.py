@@ -1,0 +1,100 @@
+"""Unit tests for the marker-based forbidden color set."""
+
+import numpy as np
+
+from repro.core.forbidden import ForbiddenSet
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add(3)
+        assert 3 in forb
+        assert 4 not in forb
+
+    def test_begin_resets_without_clearing(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add(3)
+        forb.begin()
+        assert 3 not in forb
+
+    def test_add_many(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add_many(np.array([1, 5, 2]))
+        assert all(c in forb for c in (1, 2, 5))
+        assert 0 not in forb
+
+    def test_add_many_empty(self):
+        forb = ForbiddenSet(4)
+        forb.begin()
+        forb.add_many(np.array([], dtype=np.int64))
+        assert 0 not in forb
+
+    def test_negative_or_oob_never_member(self):
+        forb = ForbiddenSet(4)
+        forb.begin()
+        assert -1 not in forb
+        assert 1000 not in forb
+
+    def test_growth(self):
+        forb = ForbiddenSet(2)
+        forb.begin()
+        forb.add(100)
+        assert 100 in forb
+        assert forb.capacity >= 101
+
+    def test_growth_preserves_members(self):
+        forb = ForbiddenSet(2)
+        forb.begin()
+        forb.add(1)
+        forb.add_many(np.array([50]))
+        assert 1 in forb
+        assert 50 in forb
+
+    def test_min_capacity_one(self):
+        assert ForbiddenSet(0).capacity == 1
+
+
+class TestScans:
+    def test_first_fit_empty(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        assert forb.first_fit() == (0, 1)
+
+    def test_first_fit_skips_members(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add_many(np.array([0, 1, 3]))
+        color, steps = forb.first_fit()
+        assert color == 2
+        assert steps == 3
+
+    def test_first_fit_with_start(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add(5)
+        assert forb.first_fit(5)[0] == 6
+
+    def test_reverse_first_fit(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add_many(np.array([4, 3]))
+        color, _ = forb.reverse_first_fit(4)
+        assert color == 2
+
+    def test_reverse_first_fit_exhausted(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        forb.add_many(np.array([0, 1, 2]))
+        color, _ = forb.reverse_first_fit(2)
+        assert color == -1
+
+    def test_probe_counter(self):
+        forb = ForbiddenSet(8)
+        forb.begin()
+        before = forb.probes
+        forb.first_fit()
+        assert forb.probes == before + 1

@@ -1,0 +1,62 @@
+"""Golden regression tests pinning exact simulated outputs.
+
+The whole system is deterministic, so these exact values (colors, conflict
+counts, simulated cycles, even the color-sum fingerprint) must never change
+unless the algorithms or the cost model change *on purpose*.  If a refactor
+trips one of these, either it altered behaviour (fix the refactor) or it
+intentionally changed the model (update the goldens and EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, color_d2gc, sequential_bgpc
+from repro.datasets import random_bipartite, random_graph
+
+
+@pytest.fixture(scope="module")
+def golden_bipartite():
+    return random_bipartite(80, 120, density=0.06, seed=101)
+
+
+@pytest.fixture(scope="module")
+def golden_graph():
+    return random_graph(100, 300, seed=101)
+
+
+def test_sequential_golden(golden_bipartite):
+    result = sequential_bgpc(golden_bipartite)
+    assert result.num_colors == 19
+    assert result.cycles == 30744.0
+
+
+def test_vv_golden(golden_bipartite):
+    result = color_bgpc(golden_bipartite, algorithm="V-V", threads=4)
+    assert result.num_colors == 19
+    assert result.total_conflicts == 2
+    assert result.cycles == 42832.0
+    assert int(result.colors.sum()) == 769
+
+
+def test_vv64d_golden(golden_bipartite):
+    result = color_bgpc(golden_bipartite, algorithm="V-V-64D", threads=8)
+    assert result.num_colors == 19
+    assert result.total_conflicts == 2
+    assert result.cycles == 43925.0
+    assert int(result.colors.sum()) == 736
+
+
+def test_n1n2_golden(golden_bipartite):
+    result = color_bgpc(golden_bipartite, algorithm="N1-N2", threads=16)
+    assert result.num_colors == 21
+    assert result.total_conflicts == 50
+    assert result.cycles == 44779.0
+    assert int(result.colors.sum()) == 894
+
+
+def test_d2gc_golden(golden_graph):
+    result = color_d2gc(golden_graph, algorithm="V-N2", threads=8)
+    assert result.num_colors == 19
+    assert result.total_conflicts == 1
+    assert result.cycles == 33102.0
+    assert int(result.colors.sum()) == 663

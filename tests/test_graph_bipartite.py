@@ -1,0 +1,129 @@
+"""Unit tests for BipartiteGraph and the graph builders."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import GraphBuildError, GraphError
+from repro.graph import (
+    BipartiteGraph,
+    bipartite_from_dense,
+    bipartite_from_edges,
+    bipartite_from_scipy,
+)
+from repro.graph.csr import CSR
+
+
+class TestConstruction:
+    def test_from_vtx_to_nets(self, tiny_bipartite):
+        assert tiny_bipartite.num_vertices == 5
+        assert tiny_bipartite.num_nets == 3
+        assert tiny_bipartite.num_edges == 7
+
+    def test_orientations_are_transposes(self, small_bipartite):
+        t = small_bipartite.vtx_to_nets.transpose()
+        assert t.sorted() == small_bipartite.net_to_vtxs.sorted()
+
+    def test_mismatched_orientations_rejected(self):
+        a = CSR(np.array([0, 1]), np.array([0]), 2)
+        b = CSR(np.array([0, 1]), np.array([0]), 2)  # wrong: 2 cols vs 1 row
+        with pytest.raises(GraphError):
+            BipartiteGraph(a, b)
+
+    def test_adjacency_views(self, tiny_bipartite):
+        assert sorted(tiny_bipartite.vtxs(0)) == [0, 1, 2]
+        assert sorted(tiny_bipartite.vtxs(1)) == [2, 3]
+        assert sorted(tiny_bipartite.nets(2)) == [0, 1]
+
+    def test_repr(self, tiny_bipartite):
+        assert "|V_A|=5" in repr(tiny_bipartite)
+
+
+class TestBounds:
+    def test_color_lower_bound(self, tiny_bipartite):
+        assert tiny_bipartite.color_lower_bound() == 3
+
+    def test_neighborhood_work(self, tiny_bipartite):
+        # 3^2 + 2^2 + 2^2 = 17
+        assert tiny_bipartite.neighborhood_work() == 17
+
+    def test_empty_instance(self):
+        bg = bipartite_from_edges([], num_vertices=3, num_nets=2)
+        assert bg.color_lower_bound() == 0
+        assert bg.num_edges == 0
+
+
+class TestSymmetry:
+    def test_rectangular_not_symmetric(self, tiny_bipartite):
+        assert not tiny_bipartite.is_structurally_symmetric()
+
+    def test_symmetric_pattern(self):
+        pattern = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]])
+        assert bipartite_from_dense(pattern).is_structurally_symmetric()
+
+    def test_square_but_asymmetric(self):
+        pattern = np.array([[1, 1], [0, 1]])
+        assert not bipartite_from_dense(pattern).is_structurally_symmetric()
+
+
+class TestPermutation:
+    def test_permute_vertices_preserves_structure(self, small_bipartite):
+        n = small_bipartite.num_vertices
+        perm = np.random.default_rng(0).permutation(n)
+        permuted = small_bipartite.permute_vertices(perm)
+        # New vertex k is old vertex perm[k]: same net memberships.
+        for k in range(0, n, 7):
+            old = perm[k]
+            assert sorted(permuted.nets(k)) == sorted(small_bipartite.nets(old))
+
+    def test_permute_identity(self, small_bipartite):
+        n = small_bipartite.num_vertices
+        same = small_bipartite.permute_vertices(np.arange(n))
+        assert same.vtx_to_nets.sorted() == small_bipartite.vtx_to_nets.sorted()
+
+    def test_permute_preserves_lower_bound(self, small_bipartite):
+        perm = np.random.default_rng(1).permutation(small_bipartite.num_vertices)
+        assert (
+            small_bipartite.permute_vertices(perm).color_lower_bound()
+            == small_bipartite.color_lower_bound()
+        )
+
+
+class TestBuilders:
+    def test_from_edges_dedup(self):
+        bg = bipartite_from_edges([(0, 0), (0, 0), (1, 0)], num_vertices=2, num_nets=1)
+        assert bg.num_edges == 2
+
+    def test_from_edges_infers_sizes(self):
+        bg = bipartite_from_edges([(3, 1)])
+        assert bg.num_vertices == 4
+        assert bg.num_nets == 2
+
+    def test_from_edges_rejects_negative(self):
+        with pytest.raises(GraphBuildError):
+            bipartite_from_edges([(-1, 0)])
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(GraphBuildError):
+            bipartite_from_edges(np.zeros((2, 3), dtype=np.int64))
+
+    def test_from_scipy_columns_are_vertices(self):
+        mat = sparse.csr_matrix(np.array([[1, 0, 1], [0, 1, 0]]))
+        bg = bipartite_from_scipy(mat)
+        assert bg.num_nets == 2  # rows
+        assert bg.num_vertices == 3  # columns
+        assert sorted(bg.vtxs(0)) == [0, 2]
+
+    def test_from_scipy_rejects_dense(self):
+        with pytest.raises(GraphBuildError):
+            bipartite_from_scipy(np.eye(3))
+
+    def test_from_dense_matches_scipy(self):
+        arr = (np.random.default_rng(2).random((6, 9)) < 0.3).astype(int)
+        a = bipartite_from_dense(arr)
+        b = bipartite_from_scipy(sparse.csr_matrix(arr))
+        assert a.net_to_vtxs.sorted() == b.net_to_vtxs.sorted()
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(GraphBuildError):
+            bipartite_from_dense(np.ones(4))

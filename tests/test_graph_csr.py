@@ -1,0 +1,147 @@
+"""Unit tests for the CSR adjacency container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSR
+
+
+def make(ptr, idx, ncols):
+    return CSR(np.asarray(ptr), np.asarray(idx), ncols)
+
+
+class TestConstruction:
+    def test_basic(self):
+        csr = make([0, 2, 3], [1, 4, 0], 5)
+        assert csr.nrows == 2
+        assert csr.ncols == 5
+        assert csr.nnz == 3
+
+    def test_empty_rows_allowed(self):
+        csr = make([0, 0, 0, 2], [1, 2], 3)
+        assert csr.degree(0) == 0
+        assert csr.degree(2) == 2
+
+    def test_zero_rows(self):
+        csr = make([0], [], 4)
+        assert csr.nrows == 0
+        assert csr.max_degree() == 0
+
+    def test_rejects_bad_first_ptr(self):
+        with pytest.raises(GraphError, match="ptr\\[0\\]"):
+            make([1, 2], [0, 0], 3)
+
+    def test_rejects_decreasing_ptr(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            make([0, 3, 2], [0, 0, 0], 3)
+
+    def test_rejects_ptr_idx_mismatch(self):
+        with pytest.raises(GraphError, match="len\\(idx\\)"):
+            make([0, 2], [1], 3)
+
+    def test_rejects_out_of_range_column(self):
+        with pytest.raises(GraphError, match="out of range"):
+            make([0, 1], [5], 3)
+
+    def test_rejects_negative_column(self):
+        with pytest.raises(GraphError, match="out of range"):
+            make([0, 1], [-1], 3)
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(GraphError, match="1-D"):
+            CSR(np.zeros((2, 2), dtype=np.int64), np.zeros(0, dtype=np.int64), 1)
+
+    def test_arrays_are_read_only(self):
+        csr = make([0, 1], [0], 1)
+        with pytest.raises(ValueError):
+            csr.ptr[0] = 5
+        with pytest.raises(ValueError):
+            csr.idx[0] = 0
+
+
+class TestAccessors:
+    def test_row_view(self):
+        csr = make([0, 2, 5], [3, 1, 0, 2, 4], 5)
+        assert list(csr.row(0)) == [3, 1]
+        assert list(csr.row(1)) == [0, 2, 4]
+
+    def test_degrees(self):
+        csr = make([0, 2, 5], [3, 1, 0, 2, 4], 5)
+        assert list(csr.degrees()) == [2, 3]
+        assert csr.max_degree() == 3
+
+    def test_iter_rows(self):
+        csr = make([0, 1, 3], [2, 0, 1], 3)
+        rows = {i: list(r) for i, r in csr.iter_rows()}
+        assert rows == {0: [2], 1: [0, 1]}
+
+    def test_has_sorted_rows(self):
+        assert make([0, 2], [0, 1], 2).has_sorted_rows()
+        assert not make([0, 2], [1, 0], 2).has_sorted_rows()
+        assert not make([0, 2], [1, 1], 2).has_sorted_rows()
+
+    def test_has_duplicates(self):
+        assert make([0, 2], [1, 1], 2).has_duplicates()
+        assert not make([0, 2], [0, 1], 2).has_duplicates()
+
+
+class TestTransforms:
+    def test_sorted(self):
+        csr = make([0, 3], [2, 0, 1], 3)
+        assert list(csr.sorted().row(0)) == [0, 1, 2]
+
+    def test_transpose_shape(self):
+        csr = make([0, 2, 3], [1, 2, 0], 3)
+        t = csr.transpose()
+        assert t.nrows == 3
+        assert t.ncols == 2
+        assert t.nnz == csr.nnz
+
+    def test_transpose_content(self):
+        # row 0 -> {1, 2}, row 1 -> {0}
+        csr = make([0, 2, 3], [1, 2, 0], 3)
+        t = csr.transpose()
+        assert list(t.row(0)) == [1]
+        assert list(t.row(1)) == [0]
+        assert list(t.row(2)) == [0]
+
+    def test_transpose_involution(self, rng):
+        mask = rng.random((13, 17)) < 0.25
+        rows, cols = np.nonzero(mask)
+        counts = np.bincount(rows, minlength=13)
+        ptr = np.zeros(14, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        csr = CSR(ptr, cols.astype(np.int64), 17)
+        double = csr.transpose().transpose()
+        assert double == csr.sorted()
+
+    def test_permute_rows(self):
+        csr = make([0, 1, 3], [2, 0, 1], 3)
+        permuted = csr.permute_rows(np.array([1, 0]))
+        assert list(permuted.row(0)) == [0, 1]
+        assert list(permuted.row(1)) == [2]
+
+    def test_permute_rows_rejects_non_permutation(self):
+        csr = make([0, 1, 2], [0, 1], 2)
+        with pytest.raises(GraphError):
+            csr.permute_rows(np.array([0, 0]))
+
+    def test_relabel_cols(self):
+        csr = make([0, 2], [0, 1], 2)
+        relabeled = csr.relabel_cols(np.array([1, 0]))
+        assert sorted(relabeled.row(0)) == [0, 1]
+        assert list(relabeled.row(0)) == [1, 0]
+
+    def test_relabel_cols_rejects_wrong_length(self):
+        csr = make([0, 1], [0], 2)
+        with pytest.raises(GraphError):
+            csr.relabel_cols(np.array([0]))
+
+    def test_equality(self):
+        a = make([0, 1], [0], 2)
+        b = make([0, 1], [0], 2)
+        c = make([0, 1], [1], 2)
+        assert a == b
+        assert a != c
+        assert a != "not a csr"

@@ -1,0 +1,155 @@
+"""Unit tests for the MatrixMarket reader/writer."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.graph import (
+    bipartite_from_dense,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def write_text(tmp_path, body, name="m.mtx"):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+class TestRead:
+    def test_general_pattern(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "2 3 3\n"
+            "1 1\n"
+            "1 3\n"
+            "2 2\n",
+        )
+        bg = read_matrix_market(path)
+        assert bg.num_nets == 2
+        assert bg.num_vertices == 3
+        assert sorted(bg.vtxs(0)) == [0, 2]
+
+    def test_real_values_ignored(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 3.5\n"
+            "2 2 -1.25e3\n",
+        )
+        bg = read_matrix_market(path)
+        assert bg.num_edges == 2
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "2 1 1.0\n"
+            "3 2 1.0\n",
+        )
+        bg = read_matrix_market(path)
+        # (2,1) also yields (1,2); (3,2) yields (2,3); diagonal stays single.
+        assert bg.num_edges == 5
+        assert bg.is_structurally_symmetric()
+
+    def test_gzip(self, tmp_path):
+        body = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "1 2 2\n1 1\n1 2\n"
+        )
+        path = tmp_path / "m.mtx.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(body.encode("ascii"))
+        bg = read_matrix_market(path)
+        assert bg.num_edges == 2
+
+    def test_blank_lines_and_comments_between_entries(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% header comment\n"
+            "\n"
+            "2 2 2\n"
+            "1 1\n"
+            "% interleaved comment\n"
+            "\n"
+            "2 2\n",
+        )
+        assert read_matrix_market(path).num_edges == 2
+
+
+class TestReadErrors:
+    def test_missing_banner(self, tmp_path):
+        path = write_text(tmp_path, "1 1 0\n")
+        with pytest.raises(MatrixMarketError, match="banner"):
+            read_matrix_market(path)
+
+    def test_unsupported_format(self, tmp_path):
+        path = write_text(tmp_path, "%%MatrixMarket matrix array real general\n")
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_unsupported_symmetry(self, tmp_path):
+        path = write_text(
+            tmp_path, "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="symmetry"):
+            read_matrix_market(path)
+
+    def test_missing_size_line(self, tmp_path):
+        path = write_text(tmp_path, "%%MatrixMarket matrix coordinate real general\n")
+        with pytest.raises(MatrixMarketError, match="size"):
+            read_matrix_market(path)
+
+    def test_truncated_entries(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n",
+        )
+        with pytest.raises(MatrixMarketError, match="expected 3"):
+            read_matrix_market(path)
+
+    def test_too_many_entries(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n1 1\n2 2\n",
+        )
+        with pytest.raises(MatrixMarketError, match="more entries"):
+            read_matrix_market(path)
+
+    def test_out_of_range_entry(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+        )
+        with pytest.raises(MatrixMarketError, match="outside"):
+            read_matrix_market(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = write_text(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nfoo bar\n",
+        )
+        with pytest.raises(MatrixMarketError, match="bad entry"):
+            read_matrix_market(path)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, rng):
+        pattern = (rng.random((9, 14)) < 0.3).astype(int)
+        bg = bipartite_from_dense(pattern)
+        path = tmp_path / "round.mtx"
+        write_matrix_market(bg, path, comment="round trip\ntwo lines")
+        back = read_matrix_market(path)
+        assert back.num_nets == bg.num_nets
+        assert back.num_vertices == bg.num_vertices
+        assert back.net_to_vtxs.sorted() == bg.net_to_vtxs.sorted()

@@ -1,0 +1,129 @@
+"""Unit tests for pattern algebra (conflict graphs, symmetrization)."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import bipartite_from_dense, graph_from_edges
+from repro.graph.csr import CSR
+from repro.graph.ops import (
+    bgpc_conflict_graph,
+    bipartite_to_graph,
+    d2gc_conflict_graph,
+    graph_to_bipartite,
+    square_pattern,
+    symmetrize,
+)
+
+
+class TestSymmetrize:
+    def test_basic(self):
+        csr = CSR(np.array([0, 2, 2]), np.array([0, 1]), 2)
+        sym = symmetrize(csr)
+        assert sorted(sym.row(0)) == [1]
+        assert sorted(sym.row(1)) == [0]
+
+    def test_drops_diagonal(self):
+        csr = CSR(np.array([0, 1]), np.array([0]), 1)
+        assert symmetrize(csr).nnz == 0
+
+    def test_rejects_rectangular(self):
+        csr = CSR(np.array([0, 1]), np.array([1]), 3)
+        with pytest.raises(GraphError):
+            symmetrize(csr)
+
+
+class TestConflictGraphs:
+    def test_bgpc_conflict_graph_tiny(self, tiny_bipartite):
+        cg = bgpc_conflict_graph(tiny_bipartite)
+        edges = {
+            (min(u, int(v)), max(u, int(v)))
+            for u in range(cg.num_vertices)
+            for v in cg.nbor(u)
+        }
+        assert edges == {(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)}
+
+    def test_bgpc_conflict_graph_matches_networkx(self, small_bipartite):
+        cg = bgpc_conflict_graph(small_bipartite)
+        # Independent construction through networkx bipartite projection.
+        B = nx.Graph()
+        for v in range(small_bipartite.num_nets):
+            members = [f"u{int(u)}" for u in small_bipartite.vtxs(v)]
+            B.add_node(f"n{v}")
+            for m in members:
+                B.add_edge(f"n{v}", m)
+        proj = nx.bipartite.projected_graph(
+            B, [f"u{u}" for u in range(small_bipartite.num_vertices) if B.has_node(f"u{u}")]
+        )
+        expected = {
+            (min(int(a[1:]), int(b[1:])), max(int(a[1:]), int(b[1:])))
+            for a, b in proj.edges
+        }
+        got = {
+            (min(u, int(v)), max(u, int(v)))
+            for u in range(cg.num_vertices)
+            for v in cg.nbor(u)
+        }
+        assert got == expected
+
+    def test_d2gc_conflict_graph_path(self, path_graph):
+        sq = d2gc_conflict_graph(path_graph)
+        assert sorted(sq.nbor(0)) == [1, 2]
+        assert sorted(sq.nbor(2)) == [0, 1, 3, 4]
+
+    def test_d2gc_conflict_graph_matches_networkx(self, small_graph):
+        sq = d2gc_conflict_graph(small_graph)
+        G = nx.Graph()
+        G.add_nodes_from(range(small_graph.num_vertices))
+        for u in range(small_graph.num_vertices):
+            for v in small_graph.nbor(u):
+                G.add_edge(u, int(v))
+        P2 = nx.power(G, 2)
+        got = {(min(u, int(v)), max(u, int(v)))
+               for u in range(sq.num_vertices) for v in sq.nbor(u)}
+        expected = {(min(a, b), max(a, b)) for a, b in P2.edges}
+        assert got == expected
+
+
+class TestConversions:
+    def test_bipartite_to_graph_round_trip(self):
+        pattern = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]])
+        bg = bipartite_from_dense(pattern)
+        g = bipartite_to_graph(bg)
+        assert sorted(g.nbor(0)) == [1]
+        assert sorted(g.nbor(1)) == [0, 2]
+
+    def test_bipartite_to_graph_rejects_rectangular(self, tiny_bipartite):
+        with pytest.raises(GraphError):
+            bipartite_to_graph(tiny_bipartite)
+
+    def test_graph_to_bipartite(self, path_graph):
+        bg = graph_to_bipartite(path_graph)
+        assert bg.num_vertices == bg.num_nets == 5
+        assert sorted(bg.vtxs(1)) == [0, 2]
+
+    def test_square_pattern_is_conflict_adjacency(self, small_bipartite):
+        sq = square_pattern(small_bipartite.net_to_vtxs)
+        cg = bgpc_conflict_graph(small_bipartite)
+        assert sq.sorted() == cg.adj.sorted()
+
+
+class TestConflictGraphDegrees:
+    def test_two_hop_upper_bounds_conflict_degree(self, small_bipartite):
+        """The cheap two-hop walk count dominates the true conflict degree."""
+        from repro.order import bgpc_two_hop_degrees
+
+        cg = bgpc_conflict_graph(small_bipartite)
+        walks = bgpc_two_hop_degrees(small_bipartite)
+        true_deg = cg.adj.degrees()
+        assert np.all(walks >= true_deg)
+
+    def test_conflict_graph_empty_when_nets_singleton(self):
+        from repro.graph import bipartite_from_edges
+
+        bg = bipartite_from_edges(
+            [(0, 0), (1, 1), (2, 2)], num_vertices=3, num_nets=3
+        )
+        cg = bgpc_conflict_graph(bg)
+        assert cg.num_edges == 0

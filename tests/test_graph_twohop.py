@@ -1,0 +1,93 @@
+"""Unit tests for the flattened two-hop traversal caches."""
+
+import numpy as np
+
+from repro.datasets import random_bipartite, random_graph
+from repro.graph.twohop import bgpc_twohop, d2gc_twohop
+
+
+class TestBgpcTwoHop:
+    def test_entries_match_loop_traversal(self, small_bipartite):
+        two = bgpc_twohop(small_bipartite)
+        assert two is not None
+        for w in range(small_bipartite.num_vertices):
+            expected = []
+            for v in small_bipartite.nets(w):
+                expected.extend(int(u) for u in small_bipartite.vtxs(int(v)))
+            assert list(two.slice(w)) == expected
+
+    def test_segments_cover_slice(self, small_bipartite):
+        two = bgpc_twohop(small_bipartite)
+        for w in range(small_bipartite.num_vertices):
+            segs = two.segments(w)
+            size = two.slice(w).size
+            assert segs.size == small_bipartite.nets(w).size
+            if segs.size:
+                assert segs[-1] == size
+                assert np.all(np.diff(segs) >= 0)
+
+    def test_scanned_until_net_granularity(self, tiny_bipartite):
+        two = bgpc_twohop(tiny_bipartite)
+        # vertex 2 belongs to nets 0 (3 members) and 1 (2 members).
+        segs = list(two.segments(2))
+        assert segs == [3, 5]
+        assert two.scanned_until(2, 0) == 3  # stop inside first net
+        assert two.scanned_until(2, 2) == 3
+        assert two.scanned_until(2, 3) == 5  # stop inside second net
+
+    def test_memoized(self, small_bipartite):
+        assert bgpc_twohop(small_bipartite) is bgpc_twohop(small_bipartite)
+
+    def test_total_entries_equal_quadratic_work(self, small_bipartite):
+        two = bgpc_twohop(small_bipartite)
+        assert two.entries == small_bipartite.neighborhood_work()
+
+
+class TestD2gcTwoHop:
+    def test_entries_match_loop_traversal(self, small_graph):
+        two = d2gc_twohop(small_graph)
+        assert two is not None
+        for w in range(small_graph.num_vertices):
+            expected = [int(u) for u in small_graph.nbor(w)]
+            for u in small_graph.nbor(w):
+                expected.extend(int(x) for x in small_graph.nbor(int(u)))
+            assert list(two.slice(w)) == expected
+
+    def test_segment_layout(self, path_graph):
+        two = d2gc_twohop(path_graph)
+        # vertex 1: ring1 = [0, 2] (one segment), then nbor(0), nbor(2).
+        segs = list(two.segments(1))
+        assert segs[0] == 2  # ring-1 segment end
+        assert segs[-1] == two.slice(1).size
+
+    def test_memoized(self, small_graph):
+        assert d2gc_twohop(small_graph) is d2gc_twohop(small_graph)
+
+
+class TestSizeCap:
+    def test_cap_returns_none(self, monkeypatch):
+        import repro.graph.twohop as mod
+
+        monkeypatch.setattr(mod, "MAX_CACHE_ENTRIES", 1)
+        bg = random_bipartite(10, 12, density=0.3, seed=0)
+        assert mod.bgpc_twohop(bg) is None
+        g = random_graph(12, 20, seed=0)
+        assert mod.d2gc_twohop(g) is None
+
+    def test_kernels_agree_with_and_without_cache(self, monkeypatch):
+        """The loop fallback and the cached path must color identically."""
+        from repro import color_bgpc, color_d2gc
+        import repro.graph.twohop as mod
+
+        bg = random_bipartite(30, 40, density=0.1, seed=5)
+        g = random_graph(40, 90, seed=5)
+        with_cache_b = color_bgpc(bg, algorithm="V-V-64D", threads=8)
+        with_cache_g = color_d2gc(g, algorithm="V-N1", threads=8)
+        monkeypatch.setattr(mod, "MAX_CACHE_ENTRIES", 1)
+        mod._bgpc_cache.clear()
+        mod._d2gc_cache.clear()
+        without_b = color_bgpc(bg, algorithm="V-V-64D", threads=8)
+        without_g = color_d2gc(g, algorithm="V-N1", threads=8)
+        assert np.array_equal(with_cache_b.colors, without_b.colors)
+        assert with_cache_b.cycles == without_b.cycles
+        assert np.array_equal(with_cache_g.colors, without_g.colors)

@@ -1,0 +1,93 @@
+"""Unit tests for the undirected Graph container."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import GraphBuildError, GraphError
+from repro.graph import Graph, graph_from_dense, graph_from_edges, graph_from_scipy
+from repro.graph.csr import CSR
+
+
+class TestConstruction:
+    def test_from_edges(self, path_graph):
+        assert path_graph.num_vertices == 5
+        assert path_graph.num_edges == 4
+        assert sorted(path_graph.nbor(1)) == [0, 2]
+
+    def test_self_loops_dropped(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        assert g.num_edges == 1
+
+    def test_parallel_edges_dedup(self):
+        g = graph_from_edges([(0, 1), (1, 0), (0, 1)], num_vertices=2)
+        assert g.num_edges == 1
+
+    def test_rejects_asymmetric_adjacency(self):
+        bad = CSR(np.array([0, 1, 1]), np.array([1]), 2)
+        with pytest.raises(GraphError, match="symmetric"):
+            Graph(bad)
+
+    def test_rejects_self_loop_adjacency(self):
+        bad = CSR(np.array([0, 1, 1]), np.array([0]), 2)
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph(bad)
+
+    def test_rejects_rectangular(self):
+        bad = CSR(np.array([0, 1]), np.array([1]), 3)
+        with pytest.raises(GraphError, match="square"):
+            Graph(bad)
+
+    def test_from_scipy_symmetrizes(self):
+        mat = sparse.csr_matrix(np.array([[1, 1, 0], [0, 0, 1], [0, 0, 0]]))
+        g = graph_from_scipy(mat)
+        assert sorted(g.nbor(0)) == [1]
+        assert sorted(g.nbor(1)) == [0, 2]
+
+    def test_from_scipy_rejects_rectangular(self):
+        with pytest.raises(GraphBuildError):
+            graph_from_scipy(sparse.csr_matrix(np.ones((2, 3))))
+
+    def test_from_dense(self):
+        g = graph_from_dense(np.array([[0, 1], [1, 0]]))
+        assert g.num_edges == 1
+
+
+class TestNeighborhoods:
+    def test_degrees(self, star_graph):
+        assert star_graph.degree(0) == 6
+        assert star_graph.degree(1) == 1
+        assert star_graph.max_degree() == 6
+
+    def test_color_lower_bound(self, star_graph):
+        assert star_graph.color_lower_bound() == 7
+
+    def test_distance2_path(self, path_graph):
+        assert sorted(path_graph.distance2_neighbors(0)) == [1, 2]
+        assert sorted(path_graph.distance2_neighbors(2)) == [0, 1, 3, 4]
+
+    def test_distance2_star(self, star_graph):
+        # every leaf reaches all other leaves through the hub
+        assert sorted(star_graph.distance2_neighbors(1)) == [0, 2, 3, 4, 5, 6]
+
+    def test_distance2_isolated(self):
+        g = graph_from_edges([(0, 1)], num_vertices=3)
+        assert g.distance2_neighbors(2).size == 0
+
+
+class TestPermute:
+    def test_permute_preserves_adjacency(self, small_graph):
+        n = small_graph.num_vertices
+        perm = np.random.default_rng(4).permutation(n)
+        permuted = small_graph.permute(perm)
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[perm] = np.arange(n)
+        for k in range(0, n, 11):
+            expected = sorted(inverse[u] for u in small_graph.nbor(perm[k]))
+            assert sorted(permuted.nbor(k)) == expected
+
+    def test_permute_preserves_counts(self, small_graph):
+        perm = np.random.default_rng(5).permutation(small_graph.num_vertices)
+        permuted = small_graph.permute(perm)
+        assert permuted.num_edges == small_graph.num_edges
+        assert permuted.max_degree() == small_graph.max_degree()

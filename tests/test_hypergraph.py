@@ -1,0 +1,112 @@
+"""Tests for the hypergraph facade and the PaToH reader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphBuildError
+from repro.graph.hypergraph import Hypergraph, read_patoh
+
+
+@pytest.fixture
+def tiny_hg():
+    return Hypergraph.from_nets([[0, 1, 2], [2, 3], [3, 4]], num_pins=5)
+
+
+class TestFacade:
+    def test_sizes(self, tiny_hg):
+        assert tiny_hg.num_pins == 5
+        assert tiny_hg.num_nets == 3
+        assert tiny_hg.num_pin_entries == 7
+
+    def test_pins_and_nets_of(self, tiny_hg):
+        assert sorted(tiny_hg.pins(0)) == [0, 1, 2]
+        assert sorted(tiny_hg.nets_of(3)) == [1, 2]
+
+    def test_max_net_size_is_lower_bound(self, tiny_hg):
+        assert tiny_hg.max_net_size() == 3
+
+    def test_color_and_validate(self, tiny_hg):
+        result = tiny_hg.color(algorithm="N1-N2", threads=4)
+        tiny_hg.validate(result.colors)
+        assert result.num_colors >= 3
+
+    def test_from_nets_infers_pins(self):
+        hg = Hypergraph.from_nets([[7]])
+        assert hg.num_pins == 8
+
+    def test_rejects_negative_pin(self):
+        with pytest.raises(GraphBuildError):
+            Hypergraph.from_nets([[-1]])
+
+    def test_empty(self):
+        hg = Hypergraph.from_nets([])
+        assert hg.num_nets == 0
+        assert hg.num_pins == 0
+
+    def test_repr(self, tiny_hg):
+        assert "pins=5" in repr(tiny_hg)
+
+
+class TestPatohReader:
+    def _write(self, tmp_path, body):
+        path = tmp_path / "h.hgr"
+        path.write_text(body)
+        return path
+
+    def test_zero_indexed(self, tmp_path):
+        path = self._write(tmp_path, "% comment\n3 5 7\n0 1 2\n2 3\n3 4\n")
+        hg = read_patoh(path)
+        assert hg.num_nets == 3
+        assert sorted(hg.pins(0)) == [0, 1, 2]
+
+    def test_one_indexed_autodetect(self, tmp_path):
+        path = self._write(tmp_path, "3 5 7\n1 2 3\n3 4\n4 5\n")
+        hg = read_patoh(path)
+        assert sorted(hg.pins(0)) == [0, 1, 2]
+        assert sorted(hg.pins(2)) == [3, 4]
+
+    def test_explicit_base(self, tmp_path):
+        path = self._write(tmp_path, "1 3 2\n1 2\n")
+        hg = read_patoh(path, index_base=1)
+        assert sorted(hg.pins(0)) == [0, 1]
+
+    def test_missing_header(self, tmp_path):
+        path = self._write(tmp_path, "% only comments\n")
+        with pytest.raises(GraphBuildError, match="header"):
+            read_patoh(path)
+
+    def test_wrong_net_count(self, tmp_path):
+        path = self._write(tmp_path, "2 3 2\n0 1\n")
+        with pytest.raises(GraphBuildError, match="net lines"):
+            read_patoh(path)
+
+    def test_wrong_entry_count(self, tmp_path):
+        path = self._write(tmp_path, "1 3 5\n0 1\n")
+        with pytest.raises(GraphBuildError, match="pin entries"):
+            read_patoh(path)
+
+    def test_out_of_range_pin(self, tmp_path):
+        path = self._write(tmp_path, "1 2 1\n5\n")
+        with pytest.raises(GraphBuildError, match="outside"):
+            read_patoh(path)
+
+    def test_roundtrip_coloring(self, tmp_path):
+        path = self._write(tmp_path, "4 6 10\n0 1 2\n2 3 4\n4 5\n0 5\n")
+        hg = read_patoh(path)
+        result = hg.color(threads=8)
+        hg.validate(result.colors)
+
+
+class TestHypergraphBalancing:
+    def test_policy_passthrough(self, tiny_hg):
+        from repro import B2Policy
+
+        result = tiny_hg.color(algorithm="V-N2", threads=8, policy=B2Policy())
+        tiny_hg.validate(result.colors)
+
+    def test_order_passthrough(self, tiny_hg):
+        from repro.order import smallest_last_order
+
+        order = smallest_last_order(tiny_hg.bipartite)
+        result = tiny_hg.color(order=order)
+        tiny_hg.validate(result.colors)

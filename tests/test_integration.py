@@ -1,0 +1,130 @@
+"""End-to-end integration tests across module boundaries."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import (
+    color_bgpc,
+    color_d2gc,
+    read_matrix_market,
+    sequential_bgpc,
+    validate_bgpc,
+    validate_d2gc,
+    write_matrix_market,
+)
+from repro.apps import JacobianCompressor
+from repro.datasets import load_dataset
+from repro.datasets.registry import load_d2gc_dataset
+from repro.graph.ops import bgpc_conflict_graph, bipartite_to_graph
+
+
+class TestFileToColoring:
+    def test_mtx_roundtrip_then_color(self, tmp_path, rng):
+        pattern = (rng.random((25, 40)) < 0.15).astype(int)
+        from repro.graph import bipartite_from_dense
+
+        bg = bipartite_from_dense(pattern)
+        path = tmp_path / "instance.mtx"
+        write_matrix_market(bg, path)
+        loaded = read_matrix_market(path)
+        result = color_bgpc(loaded, algorithm="N1-N2", threads=8)
+        validate_bgpc(loaded, result.colors)
+        # The coloring of the round-tripped instance is valid for the
+        # original too (identical structure).
+        validate_bgpc(bg, result.colors)
+
+
+class TestDatasetPipelines:
+    def test_bgpc_on_every_tiny_dataset(self):
+        from repro.datasets import bgpc_dataset_names
+
+        for name in bgpc_dataset_names():
+            bg = load_dataset(name, "tiny")
+            result = color_bgpc(bg, algorithm="N1-N2", threads=8)
+            validate_bgpc(bg, result.colors)
+
+    def test_d2gc_on_every_symmetric_tiny_dataset(self):
+        from repro.datasets import d2gc_dataset_names
+
+        for name in d2gc_dataset_names():
+            g = load_d2gc_dataset(name, "tiny")
+            result = color_d2gc(g, algorithm="V-N2", threads=8)
+            validate_d2gc(g, result.colors)
+
+    def test_bgpc_coloring_valid_on_derived_d2gc_instance(self):
+        """For a symmetric pattern with full diagonal, a valid BGPC coloring
+        is exactly a valid D2GC coloring of the derived graph."""
+        bg = load_dataset("channel", "tiny")
+        g = bipartite_to_graph(bg)
+        result = color_bgpc(bg, algorithm="V-N2", threads=8)
+        validate_d2gc(g, result.colors)
+
+
+class TestJacobianOnDataset:
+    def test_movielens_pattern_compression(self):
+        bg = load_dataset("movielens", "tiny")
+        compressor = JacobianCompressor(bg, algorithm="N1-N2", threads=8)
+        assert compressor.num_colors >= bg.color_lower_bound()
+        dense = np.zeros((bg.num_nets, bg.num_vertices))
+        for v in range(bg.num_nets):
+            dense[v, bg.vtxs(v)] = v + 1.0
+        compressed = compressor.compress_product(dense)
+        from repro.apps import recover_jacobian
+
+        recovered = recover_jacobian(bg, compressor.colors, compressed)
+        assert np.allclose(recovered.toarray(), dense)
+
+
+class TestSimulatedVsNetworkxChromatic:
+    def test_greedy_within_networkx_greedy_range(self, small_bipartite):
+        """Our sequential FF and networkx's greedy should land in the same
+        ballpark on the conflict graph (identical algorithm family)."""
+        import networkx as nx
+
+        cg = bgpc_conflict_graph(small_bipartite)
+        G = nx.Graph()
+        G.add_nodes_from(range(cg.num_vertices))
+        for u in range(cg.num_vertices):
+            for v in cg.nbor(u):
+                G.add_edge(u, int(v))
+        nx_colors = nx.coloring.greedy_color(G, strategy="largest_first")
+        nx_count = max(nx_colors.values()) + 1 if nx_colors else 0
+        ours = sequential_bgpc(small_bipartite).num_colors
+        assert abs(ours - nx_count) <= max(3, nx_count)
+
+
+class TestScalesAgree:
+    def test_tiny_and_small_same_generator_family(self):
+        tiny = load_dataset("kkt", "tiny")
+        small = load_dataset("kkt", "small")
+        assert tiny.is_structurally_symmetric() == small.is_structurally_symmetric()
+        assert small.num_vertices > tiny.num_vertices
+
+
+class TestBgpcD2gcEquivalence:
+    def test_sequential_colors_identical_on_symmetric_pattern(self):
+        """For a symmetric pattern with a full diagonal, the BGPC conflict
+        structure equals the distance-2 structure of the derived graph, so
+        the two sequential greedy colorers must produce *identical* colors
+        (first-fit depends only on the forbidden set)."""
+        bg = load_dataset("kkt", "tiny")
+        g = bipartite_to_graph(bg)
+        from repro import sequential_d2gc
+
+        a = sequential_bgpc(bg)
+        b = sequential_d2gc(g)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_holds_on_random_symmetric_instances(self, rng):
+        from repro import sequential_d2gc
+        from repro.graph import bipartite_from_dense
+
+        for trial in range(5):
+            base = (rng.random((30, 30)) < 0.12).astype(int)
+            sym = ((base + base.T + np.eye(30, dtype=int)) > 0).astype(int)
+            bg = bipartite_from_dense(sym)
+            g = bipartite_to_graph(bg)
+            a = sequential_bgpc(bg)
+            b = sequential_d2gc(g)
+            assert np.array_equal(a.colors, b.colors)

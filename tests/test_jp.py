@@ -1,0 +1,82 @@
+"""Tests for the Jones–Plassmann independent-set baseline."""
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, validate_bgpc, validate_d2gc
+from repro.core.jp import jones_plassmann_bgpc, jones_plassmann_d2gc
+from repro.datasets import random_bipartite, random_graph
+from repro.errors import ColoringError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_bipartite(60, 100, density=0.08, seed=47)
+
+
+class TestJpBgpc:
+    def test_valid(self, instance):
+        result = jones_plassmann_bgpc(instance, threads=8)
+        validate_bgpc(instance, result.colors)
+
+    @pytest.mark.parametrize("threads", [1, 4, 16])
+    def test_valid_any_thread_count(self, instance, threads):
+        result = jones_plassmann_bgpc(instance, threads=threads)
+        validate_bgpc(instance, result.colors)
+
+    def test_no_conflicts_by_construction(self, instance):
+        """JP never produces a conflict: every round's partial coloring is
+        already valid (only local-maximum vertices color themselves)."""
+        from repro.core.validate import find_bgpc_conflict
+
+        result = jones_plassmann_bgpc(instance, threads=16)
+        # Re-play: colors from earlier rounds never get reset -> if the
+        # final coloring is valid and nothing was ever overwritten, every
+        # prefix was valid too.
+        assert find_bgpc_conflict(instance, result.colors) is None
+
+    def test_deterministic_given_seed(self, instance):
+        a = jones_plassmann_bgpc(instance, threads=8, seed=3)
+        b = jones_plassmann_bgpc(instance, threads=8, seed=3)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.cycles == b.cycles
+
+    def test_seed_changes_priorities(self, instance):
+        a = jones_plassmann_bgpc(instance, threads=8, seed=3)
+        b = jones_plassmann_bgpc(instance, threads=8, seed=4)
+        # Different priority permutations nearly always color differently.
+        assert a.num_colors > 0 and b.num_colors > 0
+
+    def test_takes_more_rounds_than_speculative(self, instance):
+        """The paper's motivation for optimism: JP needs many rounds."""
+        jp = jones_plassmann_bgpc(instance, threads=16)
+        spec = color_bgpc(instance, algorithm="V-V-64D", threads=16)
+        assert jp.num_iterations > spec.num_iterations
+
+    def test_rounds_guard(self, instance):
+        with pytest.raises(ColoringError, match="converge"):
+            jones_plassmann_bgpc(instance, threads=8, max_rounds=1)
+
+    def test_empty_instance(self):
+        bg = random_bipartite(3, 5, density=0.0, seed=0)
+        result = jones_plassmann_bgpc(bg, threads=4)
+        assert result.num_colors == 1  # no conflicts: everyone color 0
+
+
+class TestJpD2gc:
+    def test_valid(self):
+        g = random_graph(80, 200, seed=48)
+        result = jones_plassmann_d2gc(g, threads=8)
+        validate_d2gc(g, result.colors)
+
+    def test_valid_single_thread(self):
+        g = random_graph(40, 80, seed=49)
+        result = jones_plassmann_d2gc(g, threads=1)
+        validate_d2gc(g, result.colors)
+
+    def test_deferral_counts_monotone(self):
+        g = random_graph(60, 150, seed=50)
+        result = jones_plassmann_d2gc(g, threads=8)
+        deferred = [rec.conflicts for rec in result.iterations]
+        assert deferred == sorted(deferred, reverse=True)
+        assert deferred[-1] == 0

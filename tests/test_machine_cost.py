@@ -1,0 +1,88 @@
+"""Unit tests for the cycle-cost model."""
+
+import pytest
+
+from repro.machine.cost import CostModel
+
+
+class TestFees:
+    def test_chunk_fee_single_thread_no_contention(self):
+        cost = CostModel(chunk_base=10, chunk_contention=100)
+        assert cost.chunk_fee(1) == 10
+
+    def test_chunk_fee_scales_with_threads(self):
+        cost = CostModel(chunk_base=10, chunk_contention=5)
+        assert cost.chunk_fee(2) == 15
+        assert cost.chunk_fee(16) == 10 + 5 * 15
+
+    def test_atomic_fee(self):
+        cost = CostModel(atomic_base=7, atomic_contention=3)
+        assert cost.atomic_fee(1) == 7
+        assert cost.atomic_fee(4) == 7 + 9
+
+    def test_barrier_free_for_one_thread(self):
+        assert CostModel().barrier_cost(1) == 0
+
+    def test_barrier_scales(self):
+        cost = CostModel(barrier_base=100, barrier_per_thread=10)
+        assert cost.barrier_cost(4) == 140
+
+
+class TestMemoryInflation:
+    def test_single_thread_uninflated(self):
+        assert CostModel().inflate_memory(1000, 1) == 1000
+
+    def test_coherence_applies_from_two_threads(self):
+        cost = CostModel(coherence_pct=10, bandwidth_threads=8)
+        assert cost.inflate_memory(1000, 2) == 1100
+
+    def test_bandwidth_stacks_on_coherence(self):
+        cost = CostModel(
+            coherence_pct=10, bandwidth_threads=8, bandwidth_slope_pct=5
+        )
+        # 16 threads: 8 over the knee -> +40%, plus 10% coherence.
+        assert cost.inflate_memory(1000, 16) == 1500
+
+    def test_rounds_up(self):
+        cost = CostModel(coherence_pct=10, bandwidth_threads=8)
+        assert cost.inflate_memory(1, 2) == 2  # ceil(1.1) via integer formula
+
+    def test_monotone_in_threads(self):
+        cost = CostModel()
+        values = [cost.inflate_memory(10_000, t) for t in (1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+
+
+class TestRaceWindow:
+    def test_full_window(self):
+        cost = CostModel(race_window_pct=100)
+        assert cost.write_visibility_delay(200) == 200
+
+    def test_partial_window(self):
+        cost = CostModel(race_window_pct=25)
+        assert cost.write_visibility_delay(200) == 50
+
+    def test_minimum_one_cycle(self):
+        cost = CostModel(race_window_pct=1)
+        assert cost.write_visibility_delay(5) == 1
+
+
+class TestValidation:
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            CostModel(edge_cost=-1)
+
+    def test_rejects_zero_bandwidth_threads(self):
+        with pytest.raises(ValueError):
+            CostModel(bandwidth_threads=0)
+
+    def test_rejects_bad_race_window(self):
+        with pytest.raises(ValueError):
+            CostModel(race_window_pct=0)
+        with pytest.raises(ValueError):
+            CostModel(race_window_pct=101)
+
+    def test_with_overrides(self):
+        cost = CostModel().with_overrides(edge_cost=99)
+        assert cost.edge_cost == 99
+        assert cost.write_cost == CostModel().write_cost

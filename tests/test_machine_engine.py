@@ -1,0 +1,269 @@
+"""Unit tests for the discrete-event parallel-for engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.cost import CostModel
+from repro.machine.engine import (
+    QUEUE_ATOMIC,
+    QUEUE_NONE,
+    QUEUE_PRIVATE,
+    run_parallel_for,
+)
+from repro.machine.memory import TimestampedMemory
+from repro.machine.scheduler import Schedule
+
+
+def mem(n=16):
+    return TimestampedMemory(np.full(n, -1, dtype=np.int64))
+
+
+def run(n_tasks, kernel, memory=None, threads=2, cost=None, schedule=None,
+        queue_mode=QUEUE_NONE, task_ids=None):
+    return run_parallel_for(
+        n_tasks=n_tasks,
+        kernel=kernel,
+        memory=memory if memory is not None else mem(max(n_tasks, 1)),
+        threads=threads,
+        cost=cost if cost is not None else CostModel(),
+        schedule=schedule if schedule is not None else Schedule.dynamic(1),
+        queue_mode=queue_mode,
+        task_ids=task_ids,
+    )
+
+
+class TestBasics:
+    def test_all_tasks_execute_once(self):
+        seen = []
+
+        def kernel(task, ctx):
+            seen.append(task)
+            ctx.charge_cpu(1)
+
+        timing, _ = run(20, kernel, threads=3)
+        assert sorted(seen) == list(range(20))
+        assert timing.tasks == 20
+
+    def test_task_ids_mapping(self):
+        seen = []
+
+        def kernel(task, ctx):
+            seen.append(task)
+
+        ids = np.array([5, 9, 2])
+        run(3, kernel, task_ids=ids)
+        assert sorted(seen) == [2, 5, 9]
+
+    def test_empty_phase(self):
+        timing, queue = run(0, lambda t, c: None)
+        assert timing.tasks == 0
+        assert queue == []
+
+    def test_writes_commit_by_barrier(self):
+        memory = mem(4)
+
+        def kernel(task, ctx):
+            ctx.write(task, task * 10)
+            ctx.charge_cpu(5)
+
+        run(4, kernel, memory=memory)
+        assert list(memory.values) == [0, 10, 20, 30]
+
+    def test_thread_state_persists_across_tasks(self):
+        states = [{"count": 0}, {"count": 0}]
+
+        def kernel(task, ctx):
+            ctx.thread_state["count"] += 1
+
+        run_parallel_for(
+            10, kernel, mem(), threads=2, cost=CostModel(),
+            schedule=Schedule.dynamic(1), thread_states=states,
+        )
+        assert sum(s["count"] for s in states) == 10
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(MachineError):
+            run(1, lambda t, c: None, threads=0)
+
+    def test_rejects_unknown_queue_mode(self):
+        with pytest.raises(MachineError):
+            run(1, lambda t, c: None, queue_mode="bogus")
+
+    def test_append_without_queue_rejected(self):
+        def kernel(task, ctx):
+            ctx.append(task)
+
+        with pytest.raises(MachineError, match="queue_mode"):
+            run(1, kernel)
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        def make_kernel():
+            def kernel(task, ctx):
+                ctx.charge_mem(task % 7 + 1)
+                ctx.write(task % 16, task)
+            return kernel
+
+        memory1, memory2 = mem(), mem()
+        t1, _ = run(50, make_kernel(), memory=memory1, threads=4)
+        t2, _ = run(50, make_kernel(), memory=memory2, threads=4)
+        assert t1.cycles == t2.cycles
+        assert t1.thread_cycles == t2.thread_cycles
+        assert np.array_equal(memory1.values, memory2.values)
+
+
+class TestTimingSemantics:
+    def test_single_thread_serializes(self):
+        """With one thread every task sees all earlier writes (no races)."""
+        memory = mem(8)
+        blind = []
+
+        def kernel(task, ctx):
+            if task > 0:
+                blind.append(ctx.colors[task - 1] == -1)
+            ctx.write(task, task)
+            ctx.charge_cpu(3)
+
+        run(8, kernel, memory=memory, threads=1)
+        assert not any(blind)
+
+    def test_two_threads_race(self):
+        """Concurrent tasks must miss each other's writes."""
+        memory = mem(8)
+        observed = []
+
+        def kernel(task, ctx):
+            observed.append((task, int(ctx.colors[1 - task]) if task < 2 else 0))
+            if task < 2:
+                ctx.write(task, 99)
+            ctx.charge_cpu(100)
+
+        run(2, kernel, memory=memory, threads=2, cost=CostModel(race_window_pct=100))
+        # Both tasks started at the same fee-offset instant; neither sees
+        # the other's write.
+        assert dict(observed) == {0: -1, 1: -1}
+
+    def test_wall_clock_is_max_thread(self):
+        cost = CostModel(
+            task_overhead=0, chunk_base=0, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+        )
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(100 if task == 0 else 1)
+
+        timing, _ = run(2, kernel, threads=2, cost=cost)
+        assert timing.cycles == 100
+
+    def test_chunk_fee_charged_per_chunk(self):
+        cost = CostModel(
+            task_overhead=0, chunk_base=10, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+        )
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(1)
+
+        # 4 tasks, 1 thread, chunk 2 -> 3 chunk grabs (2 full + 1 empty probe
+        # costs nothing): 2 fees + 4 cycles... the final empty grab is free.
+        timing, _ = run(4, kernel, threads=1, cost=cost,
+                        schedule=Schedule.dynamic(2))
+        assert timing.cycles == 2 * 10 + 4
+
+    def test_static_schedule_has_no_fee(self):
+        cost = CostModel(
+            task_overhead=0, chunk_base=1000, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+        )
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(1)
+
+        timing, _ = run(4, kernel, threads=2, cost=cost,
+                        schedule=Schedule.static())
+        assert timing.cycles == 2
+
+    def test_memory_inflation_applied_to_mem_charges(self):
+        cost = CostModel(
+            task_overhead=0, chunk_base=0, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0,
+            coherence_pct=100, bandwidth_threads=64,
+        )
+
+        def kernel(task, ctx):
+            ctx.charge_mem(50)
+
+        timing, _ = run(1, kernel, threads=2, cost=cost)
+        assert timing.cycles == 100  # doubled by 100% coherence
+
+
+class TestQueues:
+    def test_atomic_queue_ordered_by_commit_time(self):
+        cost = CostModel(
+            task_overhead=0, chunk_base=0, chunk_contention=0,
+            atomic_base=0, atomic_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+        )
+
+        def kernel(task, ctx):
+            # Task 0 is slow, task 1 fast: task 1's append lands first.
+            ctx.charge_cpu(100 if task == 0 else 1)
+            ctx.append(task)
+
+        _, queue = run(2, kernel, threads=2, cost=cost, queue_mode=QUEUE_ATOMIC)
+        assert queue == [1, 0]
+
+    def test_private_queue_ordered_by_thread(self):
+        def kernel(task, ctx):
+            ctx.charge_cpu(100 if task == 0 else 1)
+            ctx.append(task)
+
+        _, queue = run(
+            2, kernel, threads=2, queue_mode=QUEUE_PRIVATE,
+            schedule=Schedule.dynamic(1),
+        )
+        # Thread 0 ran task 0, thread 1 task 1; merge in thread order.
+        assert queue == [0, 1]
+
+    def test_atomic_appends_cost_cycles(self):
+        base = CostModel(
+            task_overhead=0, chunk_base=0, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+            atomic_base=50, atomic_contention=0,
+        )
+
+        def kernel(task, ctx):
+            ctx.append(task)
+            ctx.charge_cpu(1)
+
+        timing_atomic, _ = run(1, kernel, threads=1, cost=base,
+                               queue_mode=QUEUE_ATOMIC)
+        timing_private, _ = run(1, kernel, threads=1, cost=base,
+                                queue_mode=QUEUE_PRIVATE)
+        assert timing_atomic.cycles == timing_private.cycles + 49
+
+
+class TestEngineValidation:
+    def test_wrong_thread_states_length_rejected(self):
+        with pytest.raises(MachineError, match="thread_states"):
+            run_parallel_for(
+                1,
+                lambda t, c: None,
+                mem(),
+                threads=2,
+                cost=CostModel(),
+                schedule=Schedule.dynamic(1),
+                thread_states=[{}],
+            )
+
+    def test_static_schedule_with_task_ids(self):
+        seen = []
+
+        def kernel(task, ctx):
+            seen.append(task)
+
+        ids = np.array([9, 7, 5, 3])
+        run(4, kernel, threads=2, schedule=Schedule.static(), task_ids=ids)
+        assert sorted(seen) == [3, 5, 7, 9]

@@ -1,0 +1,83 @@
+"""Unit tests for loop schedules and the chunk cursor."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.machine.scheduler import ChunkCursor, Schedule
+
+
+class TestSchedule:
+    def test_defaults(self):
+        s = Schedule()
+        assert s.kind == "dynamic"
+        assert s.chunk == 1
+
+    def test_factories(self):
+        assert Schedule.dynamic(64).chunk == 64
+        assert Schedule.static().kind == "static"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SchedulerError):
+            Schedule("guided")
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(SchedulerError):
+            Schedule("dynamic", 0)
+
+
+class TestDynamicCursor:
+    def test_chunks_in_order(self):
+        cursor = ChunkCursor(10, threads=2, schedule=Schedule.dynamic(4))
+        assert cursor.next_chunk(0) == (0, 4)
+        assert cursor.next_chunk(1) == (4, 8)
+        assert cursor.next_chunk(0) == (8, 10)
+        assert cursor.next_chunk(1) is None
+
+    def test_all_tasks_dispensed_exactly_once(self):
+        cursor = ChunkCursor(100, threads=3, schedule=Schedule.dynamic(7))
+        seen = []
+        exhausted = set()
+        tid = 0
+        while len(exhausted) < 3:
+            chunk = cursor.next_chunk(tid)
+            if chunk is None:
+                exhausted.add(tid)
+            else:
+                seen.extend(range(*chunk))
+            tid = (tid + 1) % 3
+        assert sorted(seen) == list(range(100))
+        assert cursor.dispensed == 100
+
+    def test_empty_loop(self):
+        cursor = ChunkCursor(0, threads=2, schedule=Schedule.dynamic(4))
+        assert cursor.next_chunk(0) is None
+
+    def test_rejects_negative_tasks(self):
+        with pytest.raises(SchedulerError):
+            ChunkCursor(-1, 1, Schedule.dynamic(1))
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(SchedulerError):
+            ChunkCursor(1, 0, Schedule.dynamic(1))
+
+
+class TestStaticCursor:
+    def test_one_block_per_thread(self):
+        cursor = ChunkCursor(10, threads=3, schedule=Schedule.static())
+        blocks = [cursor.next_chunk(t) for t in range(3)]
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_second_call_returns_none(self):
+        cursor = ChunkCursor(10, threads=2, schedule=Schedule.static())
+        cursor.next_chunk(0)
+        assert cursor.next_chunk(0) is None
+
+    def test_fewer_tasks_than_threads(self):
+        cursor = ChunkCursor(2, threads=4, schedule=Schedule.static())
+        blocks = [cursor.next_chunk(t) for t in range(4)]
+        assert blocks == [(0, 1), (1, 2), None, None]
+
+    def test_dispensed_counts_claimed_blocks(self):
+        cursor = ChunkCursor(9, threads=3, schedule=Schedule.static())
+        cursor.next_chunk(1)
+        assert cursor.dispensed == 3

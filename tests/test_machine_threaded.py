@@ -1,0 +1,123 @@
+"""Tests for the real-thread executor (GIL-interleaved race sanity check)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bgpc.net import make_net_color_kernel, make_net_removal_kernel
+from repro.core.bgpc.vertex import (
+    make_vertex_color_kernel,
+    make_vertex_removal_kernel,
+)
+from repro.core.policies import FirstFit
+from repro.core.validate import is_valid_bgpc, validate_bgpc
+from repro.datasets import random_bipartite
+from repro.errors import MachineError
+from repro.machine.cost import CostModel
+from repro.machine.threaded import ThreadedExecutor
+from repro.types import UNCOLORED
+
+
+class TestExecutor:
+    def test_rejects_bad_threads(self):
+        with pytest.raises(MachineError):
+            ThreadedExecutor(0)
+
+    def test_runs_all_tasks(self):
+        executor = ThreadedExecutor(4)
+        colors = np.full(100, -1, dtype=np.int64)
+
+        def kernel(task, ctx):
+            ctx.write(task, task)
+
+        executor.parallel_for(100, kernel, colors, chunk=7)
+        assert np.array_equal(colors, np.arange(100))
+
+    def test_queue_merge(self):
+        executor = ThreadedExecutor(3)
+        colors = np.zeros(10, dtype=np.int64)
+
+        def kernel(task, ctx):
+            if task % 2 == 0:
+                ctx.append(task)
+
+        queue = executor.parallel_for(10, kernel, colors)
+        assert sorted(queue) == [0, 2, 4, 6, 8]
+
+    def test_kernel_exception_propagates(self):
+        executor = ThreadedExecutor(2)
+
+        def kernel(task, ctx):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            executor.parallel_for(4, kernel, np.zeros(4, dtype=np.int64))
+
+
+class TestSpeculativeColoringOnRealThreads:
+    """The speculative loop must converge under genuine GIL interleavings."""
+
+    def _iterate(self, bg, threads=4, max_rounds=50):
+        cost = CostModel()
+        executor = ThreadedExecutor(threads)
+        colors = np.full(bg.num_vertices, UNCOLORED, dtype=np.int64)
+        color_kernel = make_vertex_color_kernel(bg, FirstFit(), cost)
+        removal_kernel = make_vertex_removal_kernel(bg, cost)
+        work = np.arange(bg.num_vertices, dtype=np.int64)
+        for _ in range(max_rounds):
+            if work.size == 0:
+                break
+            executor.parallel_for(work.size, color_kernel, colors, task_ids=work)
+            queued = executor.parallel_for(
+                work.size, removal_kernel, colors, task_ids=work
+            )
+            work = np.asarray(queued, dtype=np.int64)
+        return colors, work
+
+    def test_vertex_based_converges_to_valid(self):
+        bg = random_bipartite(60, 90, density=0.08, seed=31)
+        colors, remaining = self._iterate(bg)
+        assert remaining.size == 0
+        validate_bgpc(bg, colors)
+
+    def test_net_based_round_is_usable(self):
+        """One net-coloring + net-removal round on real threads leaves a
+        conflict-free partial coloring (Alg. 7's guarantee)."""
+        bg = random_bipartite(60, 90, density=0.08, seed=32)
+        cost = CostModel()
+        executor = ThreadedExecutor(4)
+        colors = np.full(bg.num_vertices, UNCOLORED, dtype=np.int64)
+        executor.parallel_for(
+            bg.num_nets, make_net_color_kernel(bg, cost), colors
+        )
+        executor.parallel_for(
+            bg.num_nets, make_net_removal_kernel(bg, cost), colors
+        )
+        from repro.core.validate import find_bgpc_conflict
+
+        assert find_bgpc_conflict(bg, colors) is None
+
+
+class TestExecutorReuse:
+    def test_thread_states_isolated_between_executors(self):
+        a = ThreadedExecutor(2)
+        b = ThreadedExecutor(2)
+
+        def kernel(task, ctx):
+            ctx.thread_state["n"] = ctx.thread_state.get("n", 0) + 1
+
+        a.parallel_for(10, kernel, np.zeros(10, dtype=np.int64))
+        total_a = sum(s.get("n", 0) for s in a._thread_states)
+        total_b = sum(s.get("n", 0) for s in b._thread_states)
+        assert total_a == 10
+        assert total_b == 0
+
+    def test_executor_reusable_across_phases(self):
+        executor = ThreadedExecutor(3)
+        colors = np.full(30, -1, dtype=np.int64)
+
+        def kernel(task, ctx):
+            ctx.write(task, 1)
+
+        executor.parallel_for(30, kernel, colors)
+        executor.parallel_for(30, kernel, colors)
+        assert (colors == 1).all()

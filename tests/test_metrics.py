@@ -1,0 +1,83 @@
+"""Unit tests for color-class statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    color_cardinalities,
+    color_stats,
+    skewness,
+    sorted_cardinality_curve,
+    tiny_class_count,
+)
+from repro.errors import ColoringError
+
+
+class TestCardinalities:
+    def test_basic(self):
+        card = color_cardinalities(np.array([0, 0, 1, 2, 2, 2]))
+        assert list(card) == [2, 1, 3]
+
+    def test_gap_colors_count_as_empty(self):
+        card = color_cardinalities(np.array([0, 3]))
+        assert list(card) == [1, 0, 0, 1]
+
+    def test_rejects_partial(self):
+        with pytest.raises(ColoringError):
+            color_cardinalities(np.array([0, -1]))
+
+    def test_empty(self):
+        assert color_cardinalities(np.array([], dtype=np.int64)).size == 0
+
+
+class TestStats:
+    def test_values(self):
+        stats = color_stats(np.array([0, 0, 0, 1]))
+        assert stats.num_colors == 2
+        assert stats.mean == 2.0
+        assert stats.min == 1
+        assert stats.max == 3
+        assert stats.std == 1.0
+
+    def test_imbalance_and_cv(self):
+        stats = color_stats(np.array([0, 0, 0, 1]))
+        assert stats.imbalance == 1.5
+        assert stats.cv == 0.5
+
+    def test_empty(self):
+        stats = color_stats(np.array([], dtype=np.int64))
+        assert stats.num_colors == 0
+        assert stats.imbalance == 1.0
+
+
+class TestCurveAndSkew:
+    def test_sorted_curve_descending(self):
+        curve = sorted_cardinality_curve(np.array([0, 1, 1, 2, 2, 2]))
+        assert list(curve) == [3, 2, 1]
+
+    def test_skewness_sign(self):
+        # one huge class + many tiny ones -> positive skew
+        colors = np.concatenate([np.zeros(100, dtype=np.int64), np.arange(1, 11)])
+        assert skewness(colors) > 0
+        # perfectly equitable -> zero skew
+        assert skewness(np.array([0, 0, 1, 1, 2, 2])) == 0.0
+
+    def test_skewness_degenerate(self):
+        assert skewness(np.array([0, 0, 0])) == 0.0
+
+    def test_tiny_class_count(self):
+        colors = np.array([0, 0, 0, 1, 2, 2])
+        assert tiny_class_count(colors, threshold=2) == 1
+        assert tiny_class_count(colors, threshold=3) == 2
+
+
+class TestSummary:
+    def test_coloring_result_summary_mentions_rounds(self):
+        from repro import color_bgpc
+        from repro.datasets import random_bipartite
+
+        bg = random_bipartite(15, 25, density=0.15, seed=8)
+        result = color_bgpc(bg, threads=4)
+        text = result.summary()
+        assert "colors" in text
+        assert f"rounds: {result.num_iterations}" in text

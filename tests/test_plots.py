@@ -1,0 +1,83 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import (
+    figure1_chart,
+    figure3_chart,
+    hbar_chart,
+    log_sparkline,
+)
+
+
+class TestHbarChart:
+    def test_scales_to_max(self):
+        out = hbar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = hbar_chart([("long-label", 1.0), ("x", 1.0)])
+        lines = out.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+    def test_empty(self):
+        assert "empty" in hbar_chart([])
+
+    def test_zero_values_render(self):
+        out = hbar_chart([("z", 0.0), ("a", 4.0)], width=8)
+        assert "z" in out
+
+    def test_explicit_max(self):
+        out = hbar_chart([("a", 5.0)], width=10, max_value=10.0)
+        assert out.count("█") == 5
+
+    def test_deterministic(self):
+        rows = [("a", 3.3), ("b", 7.7)]
+        assert hbar_chart(rows) == hbar_chart(rows)
+
+
+class TestSparkline:
+    def test_length_capped_to_width(self):
+        out = log_sparkline(list(range(1, 200)), width=50)
+        assert len(out) == 50
+
+    def test_short_series_uncompressed(self):
+        out = log_sparkline([1, 10, 100], width=60)
+        assert len(out) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        out = log_sparkline([1, 10, 100, 1000])
+        heights = ["▁▂▃▄▅▆▇█".index(c) for c in out]
+        assert heights == sorted(heights)
+
+    def test_zeros_render_as_spaces(self):
+        out = log_sparkline([0, 5, 0])
+        assert out[0] == " " and out[2] == " "
+
+    def test_all_zero(self):
+        assert log_sparkline([0, 0, 0]).strip() == ""
+
+    def test_empty(self):
+        assert "empty" in log_sparkline([])
+
+
+class TestFigureCharts:
+    def test_figure1_chart_skips_empty_rounds(self):
+        series = {"X": [(10.0, 5.0), (0.0, 0.0)]}
+        out = figure1_chart(series)
+        assert "X r1 color" in out
+        assert "r2" not in out
+
+    def test_figure3_chart_from_experiment_data(self):
+        from repro.bench.experiments import ALL_EXPERIMENTS
+
+        exp = ALL_EXPERIMENTS["figure3"](scale="tiny", threads=8)
+        out = figure3_chart(exp.data["curves"])
+        assert "V-N2-U" in out
+        assert "│" in out
+
+    def test_figure3_chart_empty(self):
+        assert "no curves" in figure3_chart({})

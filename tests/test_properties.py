@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    color_bgpc,
+    color_d2gc,
+    is_valid_bgpc,
+    sequential_bgpc,
+    validate_bgpc,
+    validate_d2gc,
+)
+from repro.core.forbidden import ForbiddenSet
+from repro.graph import bipartite_from_edges, graph_from_edges
+from repro.machine.memory import TimestampedMemory
+from repro.order import smallest_last_order
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def bipartite_graphs(draw, max_vertices=40, max_nets=30):
+    num_vertices = draw(st.integers(1, max_vertices))
+    num_nets = draw(st.integers(1, max_nets))
+    num_edges = draw(st.integers(0, num_vertices * 3))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1), st.integers(0, num_nets - 1)
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return bipartite_from_edges(edges, num_vertices=num_vertices, num_nets=num_nets)
+
+
+@st.composite
+def unipartite_graphs(draw, max_vertices=30):
+    n = draw(st.integers(2, max_vertices))
+    num_edges = draw(st.integers(0, min(n * 2, n * (n - 1) // 2)))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return graph_from_edges(edges, num_vertices=n)
+
+
+class TestColoringProperties:
+    @SLOW
+    @given(
+        bg=bipartite_graphs(),
+        alg=st.sampled_from(["V-V", "V-V-64D", "V-N1", "N1-N2", "N2-N2"]),
+        threads=st.sampled_from([1, 3, 16]),
+    )
+    def test_bgpc_always_valid(self, bg, alg, threads):
+        result = color_bgpc(bg, algorithm=alg, threads=threads)
+        validate_bgpc(bg, result.colors)
+
+    @SLOW
+    @given(
+        g=unipartite_graphs(),
+        alg=st.sampled_from(["V-V-64D", "V-N2", "N1-N2"]),
+        threads=st.sampled_from([1, 4, 16]),
+    )
+    def test_d2gc_always_valid(self, g, alg, threads):
+        result = color_d2gc(g, algorithm=alg, threads=threads)
+        validate_d2gc(g, result.colors)
+
+    @SLOW
+    @given(bg=bipartite_graphs())
+    def test_colors_at_least_lower_bound(self, bg):
+        result = sequential_bgpc(bg)
+        if bg.num_edges:
+            assert result.num_colors >= bg.color_lower_bound()
+
+    @SLOW
+    @given(bg=bipartite_graphs(), policy=st.sampled_from(["B1", "B2"]))
+    def test_balancing_preserves_validity(self, bg, policy):
+        from repro.core.policies import get_policy
+
+        result = color_bgpc(
+            bg, algorithm="V-N2", threads=8, policy=get_policy(policy)
+        )
+        validate_bgpc(bg, result.colors)
+
+    @SLOW
+    @given(bg=bipartite_graphs())
+    def test_smallest_last_is_permutation_and_valid(self, bg):
+        order = smallest_last_order(bg)
+        assert sorted(order) == list(range(bg.num_vertices))
+        result = sequential_bgpc(bg, order=order)
+        validate_bgpc(bg, result.colors)
+
+    @SLOW
+    @given(bg=bipartite_graphs(), seed=st.integers(0, 3))
+    def test_random_coloring_validity_oracle(self, bg, seed):
+        """Cross-check is_valid_bgpc against a brute-force pair scan."""
+        rng = np.random.default_rng(seed)
+        colors = rng.integers(0, 5, size=bg.num_vertices)
+        brute = True
+        for v in range(bg.num_nets):
+            members = bg.vtxs(v)
+            vals = colors[members]
+            if np.unique(vals).size != vals.size:
+                brute = False
+                break
+        assert is_valid_bgpc(bg, colors) == brute
+
+
+class TestForbiddenSetModel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("add"), st.integers(0, 100)),
+                st.tuples(st.just("begin"), st.just(0)),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_python_set(self, ops):
+        forb = ForbiddenSet(4)
+        model: set[int] = set()
+        for op, value in ops:
+            if op == "add":
+                forb.add(value)
+                model.add(value)
+            else:
+                forb.begin()
+                model.clear()
+        for c in range(0, 105, 7):
+            assert (c in forb) == (c in model)
+        ff, _ = forb.first_fit()
+        expected = 0
+        while expected in model:
+            expected += 1
+        assert ff == expected
+
+
+class TestMemoryModel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 7),      # index
+                st.integers(0, 50),     # value
+                st.integers(0, 100),    # commit time
+            ),
+            max_size=30,
+        ),
+        read_time=st.integers(0, 120),
+    )
+    def test_happens_before_visibility(self, writes, read_time):
+        """A read at time T sees exactly the latest write committing <= T
+        (ties: later submission wins)."""
+        mem = TimestampedMemory(np.full(8, -1, dtype=np.int64))
+        for index, value, t in writes:
+            mem.write(index, value, t)
+        mem.commit_until(read_time)
+        for index in range(8):
+            visible = [
+                (t, seq, value)
+                for seq, (idx, value, t) in enumerate(writes)
+                if idx == index and t <= read_time
+            ]
+            expected = max(visible)[2] if visible else -1
+            assert mem.read(index) == expected
+
+
+class TestCsrProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 11)), max_size=80
+        )
+    )
+    def test_transpose_involution(self, edges):
+        bg = bipartite_from_edges(edges, num_vertices=15, num_nets=12)
+        csr = bg.vtx_to_nets
+        assert csr.transpose().transpose() == csr.sorted()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 11)), max_size=80
+        ),
+        seed=st.integers(0, 5),
+    )
+    def test_permutation_roundtrip(self, edges, seed):
+        bg = bipartite_from_edges(edges, num_vertices=15, num_nets=12)
+        perm = np.random.default_rng(seed).permutation(15)
+        inverse = np.empty(15, dtype=np.int64)
+        inverse[perm] = np.arange(15)
+        back = bg.permute_vertices(perm).permute_vertices(inverse)
+        assert back.vtx_to_nets.sorted() == bg.vtx_to_nets.sorted()

@@ -1,0 +1,194 @@
+"""Extended property-based tests: distance-k, hypergraphs, reports, engine."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.distk import color_distk, validate_distk
+from repro.graph import graph_from_edges
+from repro.graph.hypergraph import Hypergraph
+from repro.report import result_from_dict, result_to_dict
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw, max_vertices=16):
+    n = draw(st.integers(2, max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * 2,
+        )
+    )
+    return graph_from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def hypergraphs(draw, max_pins=20, max_nets=12):
+    num_pins = draw(st.integers(1, max_pins))
+    nets = draw(
+        st.lists(
+            st.lists(st.integers(0, num_pins - 1), min_size=1, max_size=6),
+            max_size=max_nets,
+        )
+    )
+    return Hypergraph.from_nets(nets, num_pins=num_pins)
+
+
+class TestDistKProperties:
+    @SLOW
+    @given(g=small_graphs(), k=st.integers(1, 4), threads=st.sampled_from([1, 4, 8]))
+    def test_vertex_based_always_valid(self, g, k, threads):
+        result = color_distk(g, k, algorithm="V-V-64D", threads=threads)
+        validate_distk(g, k, result.colors)
+
+    @SLOW
+    @given(g=small_graphs(), k=st.sampled_from([2, 4]))
+    def test_net_based_even_k_valid(self, g, k):
+        result = color_distk(g, k, algorithm="N1-N2", threads=8)
+        validate_distk(g, k, result.colors)
+
+    @SLOW
+    @given(g=small_graphs())
+    def test_distk_nested_validity(self, g):
+        """A valid distance-(k+1) coloring is a valid distance-k coloring."""
+        result = color_distk(g, 3, algorithm="V-V-64D", threads=4)
+        validate_distk(g, 3, result.colors)
+        validate_distk(g, 2, result.colors)
+        validate_distk(g, 1, result.colors)
+
+
+class TestHypergraphProperties:
+    @SLOW
+    @given(hg=hypergraphs(), alg=st.sampled_from(["V-V", "N1-N2"]))
+    def test_pin_coloring_valid(self, hg, alg):
+        result = hg.color(algorithm=alg, threads=4)
+        hg.validate(result.colors)
+
+    @SLOW
+    @given(hg=hypergraphs())
+    def test_lower_bound(self, hg):
+        result = hg.color(threads=2)
+        if hg.num_pin_entries:
+            assert result.num_colors >= hg.max_net_size()
+
+
+class TestReportProperties:
+    @SLOW
+    @given(hg=hypergraphs(), threads=st.sampled_from([1, 4]))
+    def test_serialization_roundtrip(self, hg, threads):
+        result = hg.color(threads=threads)
+        back = result_from_dict(result_to_dict(result))
+        assert np.array_equal(back.colors, result.colors)
+        assert back.cycles == result.cycles
+        assert back.num_iterations == result.num_iterations
+
+
+class TestEngineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_tasks=st.integers(0, 40),
+        threads=st.integers(1, 8),
+        chunk=st.integers(1, 16),
+        costs=st.lists(st.integers(1, 50), min_size=40, max_size=40),
+    )
+    def test_every_task_runs_once_any_schedule(self, n_tasks, threads, chunk, costs):
+        from repro.machine.cost import CostModel
+        from repro.machine.engine import run_parallel_for
+        from repro.machine.memory import TimestampedMemory
+        from repro.machine.scheduler import Schedule
+
+        seen = []
+
+        def kernel(task, ctx):
+            seen.append(task)
+            ctx.charge_cpu(costs[task])
+
+        memory = TimestampedMemory(np.zeros(max(n_tasks, 1), dtype=np.int64))
+        timing, _ = run_parallel_for(
+            n_tasks, kernel, memory, threads, CostModel(), Schedule.dynamic(chunk)
+        )
+        assert sorted(seen) == list(range(n_tasks))
+        # Wall-clock is at least the critical path of any single task and at
+        # most the serial sum plus all overheads.
+        if n_tasks:
+            assert timing.cycles >= max(costs[:n_tasks])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_tasks=st.integers(1, 30),
+        costs=st.lists(st.integers(1, 50), min_size=30, max_size=30),
+    )
+    def test_single_thread_wall_is_serial_sum(self, n_tasks, costs):
+        from repro.machine.cost import CostModel
+        from repro.machine.engine import run_parallel_for
+        from repro.machine.memory import TimestampedMemory
+        from repro.machine.scheduler import Schedule
+
+        cost = CostModel(
+            task_overhead=0, chunk_base=0, chunk_contention=0,
+            barrier_base=0, barrier_per_thread=0, coherence_pct=0,
+        )
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(costs[task])
+
+        memory = TimestampedMemory(np.zeros(1, dtype=np.int64))
+        timing, _ = run_parallel_for(
+            n_tasks, kernel, memory, 1, cost, Schedule.static()
+        )
+        assert timing.cycles == sum(costs[:n_tasks])
+
+
+class TestShuffleProperties:
+    @SLOW
+    @given(
+        seed=st.integers(0, 20),
+        density=st.floats(0.02, 0.15),
+    )
+    def test_shuffle_preserves_validity_and_palette(self, seed, density):
+        from repro import sequential_bgpc, validate_bgpc
+        from repro.core.balance import rebalance_shuffle
+        from repro.datasets import random_bipartite
+
+        bg = random_bipartite(25, 40, density=density, seed=seed)
+        base = sequential_bgpc(bg)
+        result = rebalance_shuffle(bg, base.colors)
+        validate_bgpc(bg, result.colors)
+        assert result.colors.max() <= base.colors.max()
+
+    @SLOW
+    @given(seed=st.integers(0, 20))
+    def test_recolor_never_worse(self, seed):
+        from repro import sequential_bgpc, validate_bgpc
+        from repro.core.recolor import reduce_colors
+        from repro.datasets import random_bipartite
+        from repro.order import random_order
+
+        bg = random_bipartite(25, 40, density=0.1, seed=seed)
+        base = sequential_bgpc(bg, order=random_order(bg, seed=seed))
+        result = reduce_colors(bg, base.colors)
+        validate_bgpc(bg, result.colors)
+        assert result.colors_after <= base.num_colors
+
+
+class TestDistributedProperties:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10),
+        ranks=st.integers(1, 6),
+        batch=st.integers(1, 40),
+    )
+    def test_distributed_always_valid(self, seed, ranks, batch):
+        from repro import validate_bgpc
+        from repro.datasets import random_bipartite
+        from repro.dist import distributed_bgpc
+
+        bg = random_bipartite(20, 35, density=0.1, seed=seed)
+        result = distributed_bgpc(bg, ranks=ranks, batch=batch)
+        validate_bgpc(bg, result.colors)

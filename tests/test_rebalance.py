@@ -1,0 +1,69 @@
+"""Tests for the shuffle rebalancing post-pass baseline."""
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, sequential_bgpc, validate_bgpc
+from repro.core.balance import rebalance_shuffle
+from repro.core.metrics import color_stats
+from repro.datasets import random_bipartite
+from repro.errors import InvalidColoringError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_bipartite(100, 250, density=0.05, seed=29)
+
+
+@pytest.fixture(scope="module")
+def skewed_coloring(instance):
+    """First-fit sequential coloring: maximally skewed class profile."""
+    return sequential_bgpc(instance).colors
+
+
+class TestShuffle:
+    def test_output_valid(self, instance, skewed_coloring):
+        result = rebalance_shuffle(instance, skewed_coloring)
+        validate_bgpc(instance, result.colors)
+
+    def test_std_decreases(self, instance, skewed_coloring):
+        before = color_stats(skewed_coloring).std
+        result = rebalance_shuffle(instance, skewed_coloring)
+        after = color_stats(result.colors).std
+        assert after < before
+
+    def test_no_new_colors(self, instance, skewed_coloring):
+        result = rebalance_shuffle(instance, skewed_coloring)
+        assert result.colors.max() <= skewed_coloring.max()
+
+    def test_move_count_positive_on_skewed_input(self, instance, skewed_coloring):
+        result = rebalance_shuffle(instance, skewed_coloring)
+        assert result.moves > 0
+
+    def test_cost_is_nonzero_unlike_b1b2(self, instance, skewed_coloring):
+        """The point of the baseline: the shuffle pays real cycles."""
+        result = rebalance_shuffle(instance, skewed_coloring)
+        assert result.estimated_cycles > 0
+
+    def test_input_not_mutated(self, instance, skewed_coloring):
+        original = skewed_coloring.copy()
+        rebalance_shuffle(instance, skewed_coloring)
+        assert np.array_equal(skewed_coloring, original)
+
+    def test_rejects_invalid_input(self, instance):
+        with pytest.raises(InvalidColoringError):
+            rebalance_shuffle(
+                instance, np.zeros(instance.num_vertices, dtype=np.int64)
+            )
+
+    def test_single_color_noop(self):
+        bg = random_bipartite(5, 8, density=0.0, seed=1)
+        colors = np.zeros(8, dtype=np.int64)
+        result = rebalance_shuffle(bg, colors)
+        assert result.moves == 0
+
+    def test_composes_with_parallel_coloring(self, instance):
+        parallel = color_bgpc(instance, algorithm="N1-N2", threads=16)
+        result = rebalance_shuffle(instance, parallel.colors)
+        validate_bgpc(instance, result.colors)
+        assert color_stats(result.colors).std <= color_stats(parallel.colors).std

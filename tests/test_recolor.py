@@ -1,0 +1,75 @@
+"""Tests for the iterative-recoloring extension."""
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, sequential_bgpc, validate_bgpc
+from repro.core.recolor import reduce_colors
+from repro.datasets import random_bipartite
+from repro.errors import InvalidColoringError
+from repro.order import random_order
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_bipartite(90, 200, density=0.06, seed=37)
+
+
+class TestReduceColors:
+    def test_output_valid(self, instance):
+        base = sequential_bgpc(instance)
+        result = reduce_colors(instance, base.colors)
+        validate_bgpc(instance, result.colors)
+
+    def test_never_increases_colors(self, instance):
+        base = sequential_bgpc(instance)
+        result = reduce_colors(instance, base.colors)
+        assert result.colors_after <= result.colors_before
+
+    def test_improves_a_bad_order(self, instance):
+        """A random-order greedy coloring usually wastes colors; iterative
+        recoloring must claw some back."""
+        bad = sequential_bgpc(
+            instance, order=random_order(instance, seed=99)
+        )
+        good = sequential_bgpc(instance)
+        worst = max(bad.num_colors, good.num_colors)
+        result = reduce_colors(instance, bad.colors, max_passes=8,
+                               top_fraction=0.8)
+        assert result.colors_after <= worst
+
+    def test_palette_compacted(self, instance):
+        base = color_bgpc(instance, algorithm="N1-N2", threads=16)
+        result = reduce_colors(instance, base.colors)
+        used = np.unique(result.colors)
+        assert np.array_equal(used, np.arange(used.size))
+
+    def test_input_not_mutated(self, instance):
+        base = sequential_bgpc(instance)
+        original = base.colors.copy()
+        reduce_colors(instance, base.colors)
+        assert np.array_equal(base.colors, original)
+
+    def test_fixpoint_stops_early(self, instance):
+        base = sequential_bgpc(instance)
+        first = reduce_colors(instance, base.colors, max_passes=10)
+        second = reduce_colors(instance, first.colors, max_passes=10)
+        assert second.moves == 0 or second.colors_after <= first.colors_after
+
+    def test_rejects_invalid_input(self, instance):
+        with pytest.raises(InvalidColoringError):
+            reduce_colors(
+                instance, np.zeros(instance.num_vertices, dtype=np.int64)
+            )
+
+    def test_rejects_bad_fraction(self, instance):
+        base = sequential_bgpc(instance)
+        with pytest.raises(ValueError):
+            reduce_colors(instance, base.colors, top_fraction=0.0)
+
+    def test_single_color_noop(self):
+        bg = random_bipartite(4, 6, density=0.0, seed=0)
+        colors = np.zeros(6, dtype=np.int64)
+        result = reduce_colors(bg, colors)
+        assert result.colors_after == 1
+        assert result.moves == 0

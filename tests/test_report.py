@@ -1,0 +1,82 @@
+"""Tests for JSON run-report serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import color_bgpc, sequential_bgpc
+from repro.datasets import random_bipartite
+from repro.report import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    bg = random_bipartite(30, 50, density=0.1, seed=61)
+    return color_bgpc(bg, algorithm="V-N2", threads=8)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, run_result):
+        back = result_from_dict(result_to_dict(run_result))
+        assert np.array_equal(back.colors, run_result.colors)
+        assert back.num_colors == run_result.num_colors
+        assert back.cycles == run_result.cycles
+        assert back.algorithm == run_result.algorithm
+        assert back.threads == run_result.threads
+        assert back.num_iterations == run_result.num_iterations
+        for a, b in zip(back.iterations, run_result.iterations):
+            assert a.queue_size == b.queue_size
+            assert a.conflicts == b.conflicts
+            assert a.color_timing.cycles == b.color_timing.cycles
+            assert a.color_timing.thread_cycles == b.color_timing.thread_cycles
+
+    def test_file_round_trip(self, run_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(run_result, path)
+        back = load_result(path)
+        assert np.array_equal(back.colors, run_result.colors)
+        assert back.cycles == run_result.cycles
+
+    def test_sequential_result_with_null_removal(self, tmp_path):
+        bg = random_bipartite(10, 15, density=0.2, seed=3)
+        result = sequential_bgpc(bg)
+        path = tmp_path / "seq.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.iterations[0].remove_timing is None
+
+    def test_archives_are_byte_identical(self, run_result, tmp_path):
+        """Determinism end to end: same run -> same JSON bytes."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_result(run_result, a)
+        bg = random_bipartite(30, 50, density=0.1, seed=61)
+        rerun = color_bgpc(bg, algorithm="V-N2", threads=8)
+        save_result(rerun, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_json_is_plain(self, run_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(run_result, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert isinstance(payload["colors"][0], int)
+
+    def test_unknown_version_rejected(self, run_result):
+        payload = result_to_dict(run_result)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(payload)
+
+
+class TestReportWithDistributedResults:
+    def test_summary_of_loaded_result(self, run_result, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(run_result, path)
+        back = load_result(path)
+        assert back.summary() == run_result.summary()

@@ -1,0 +1,157 @@
+"""Tests for the shared result types, dataset stats and the Machine facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.graph.stats import dataset_properties
+from repro.machine import CostModel, Machine
+from repro.machine.scheduler import Schedule
+from repro.machine.trace import RunTrace
+from repro.types import (
+    ColoringResult,
+    IterationRecord,
+    PhaseKind,
+    PhaseTiming,
+    UNCOLORED,
+    as_vertex_array,
+)
+
+
+class TestPhaseTiming:
+    def test_imbalance_even(self):
+        t = PhaseTiming("color", 100.0, (50.0, 50.0), 10)
+        assert t.imbalance == 1.0
+
+    def test_imbalance_skewed(self):
+        t = PhaseTiming("color", 100.0, (90.0, 10.0), 10)
+        assert t.imbalance == pytest.approx(1.8)
+
+    def test_imbalance_idle_machine(self):
+        t = PhaseTiming("color", 0.0, (0.0, 0.0), 0)
+        assert t.imbalance == 1.0
+
+
+class TestIterationRecord:
+    def test_cycles_sums_phases(self):
+        color = PhaseTiming(PhaseKind.COLOR, 10.0, (10.0,), 1)
+        remove = PhaseTiming(PhaseKind.REMOVE, 5.0, (5.0,), 1)
+        rec = IterationRecord(0, 4, 1, color, remove)
+        assert rec.cycles == 15.0
+
+    def test_cycles_without_removal(self):
+        color = PhaseTiming(PhaseKind.COLOR, 10.0, (10.0,), 1)
+        rec = IterationRecord(0, 4, 0, color, None)
+        assert rec.cycles == 10.0
+
+
+class TestColoringResult:
+    def _result(self):
+        color = PhaseTiming(PhaseKind.COLOR, 10.0, (10.0,), 2)
+        remove = PhaseTiming(PhaseKind.REMOVE, 4.0, (4.0,), 2)
+        recs = [
+            IterationRecord(0, 2, 1, color, remove),
+            IterationRecord(1, 1, 0, color, remove),
+        ]
+        return ColoringResult(
+            colors=np.array([0, 1]), num_colors=2, iterations=recs,
+            algorithm="X", threads=1, cycles=28.0,
+        )
+
+    def test_totals(self):
+        r = self._result()
+        assert r.num_iterations == 2
+        assert r.total_conflicts == 1
+        assert r.phase_cycles(PhaseKind.COLOR) == 20.0
+        assert r.phase_cycles(PhaseKind.REMOVE) == 8.0
+
+
+class TestHelpers:
+    def test_uncolored_sentinel(self):
+        assert UNCOLORED == -1
+
+    def test_as_vertex_array(self):
+        arr = as_vertex_array([1, 2, 3])
+        assert arr.dtype == np.int64
+
+    def test_as_vertex_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_vertex_array(np.zeros((2, 2)))
+
+
+class TestDatasetProperties:
+    def test_columns(self, tiny_bipartite):
+        props = dataset_properties("tiny", tiny_bipartite)
+        assert props.num_rows == 3
+        assert props.num_cols == 5
+        assert props.nnz == 7
+        assert props.max_row_degree == 3  # the BGPC lower bound
+        assert not props.structurally_symmetric
+
+    def test_row_rendering(self, tiny_bipartite):
+        row = dataset_properties("tiny", tiny_bipartite).row()
+        assert row[0] == "tiny"
+        assert len(row) == 6
+
+
+class TestMachineFacade:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(MachineError):
+            Machine(0)
+
+    def test_trace_accumulates(self):
+        machine = Machine(2)
+        memory = machine.make_memory(np.full(4, -1, dtype=np.int64))
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(1)
+
+        machine.parallel_for(4, kernel, memory)
+        machine.parallel_for(4, kernel, memory, phase_kind="remove")
+        assert len(machine.trace.phases) == 2
+        assert machine.trace.cycles_by_kind("color") > 0
+        assert machine.trace.cycles_by_kind("remove") > 0
+        assert machine.trace.total_cycles == sum(
+            p.cycles for p in machine.trace.phases
+        )
+
+    def test_extra_wall_added(self):
+        machine = Machine(1)
+        memory = machine.make_memory(np.full(2, -1, dtype=np.int64))
+
+        def kernel(task, ctx):
+            ctx.charge_cpu(1)
+
+        base, _ = machine.parallel_for(2, kernel, memory)
+        padded, _ = machine.parallel_for(2, kernel, memory, extra_wall=500)
+        assert padded.cycles == base.cycles + 500
+
+    def test_scan_cost_positive_and_divides(self):
+        one = Machine(1).parallel_scan_cost(1000)
+        sixteen = Machine(16).parallel_scan_cost(1000)
+        assert 0 < sixteen < one
+
+    def test_thread_states_reset(self):
+        machine = Machine(2)
+        machine.thread_states[0]["x"] = 1
+        machine.reset_thread_states()
+        assert machine.thread_states[0] == {}
+
+    def test_static_schedule_supported(self):
+        machine = Machine(2)
+        memory = machine.make_memory(np.full(4, -1, dtype=np.int64))
+        seen = []
+
+        def kernel(task, ctx):
+            seen.append(task)
+
+        machine.parallel_for(4, kernel, memory, schedule=Schedule.static())
+        assert sorted(seen) == [0, 1, 2, 3]
+
+
+class TestRunTrace:
+    def test_clear(self):
+        trace = RunTrace(threads=2)
+        trace.add(PhaseTiming("color", 5.0, (5.0, 0.0), 1))
+        trace.clear()
+        assert trace.total_cycles == 0.0

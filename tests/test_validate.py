@@ -1,0 +1,117 @@
+"""Unit tests for the coloring validators and conflict counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import (
+    count_bgpc_conflict_vertices,
+    count_d2gc_conflict_vertices,
+    find_bgpc_conflict,
+    find_d2gc_conflict,
+    is_valid_bgpc,
+    is_valid_d2gc,
+    validate_bgpc,
+    validate_d2gc,
+)
+from repro.errors import InvalidColoringError
+
+
+class TestBgpc:
+    def test_valid_coloring_accepted(self, tiny_bipartite):
+        colors = np.array([0, 1, 2, 0, 1])
+        validate_bgpc(tiny_bipartite, colors)
+        assert is_valid_bgpc(tiny_bipartite, colors)
+
+    def test_conflict_detected(self, tiny_bipartite):
+        colors = np.array([0, 1, 0, 2, 1])  # 0 and 2 share net 0
+        assert not is_valid_bgpc(tiny_bipartite, colors)
+        with pytest.raises(InvalidColoringError) as err:
+            validate_bgpc(tiny_bipartite, colors)
+        assert err.value.conflict == (0, 2, 0)
+
+    def test_uncolored_rejected(self, tiny_bipartite):
+        colors = np.array([0, 1, 2, -1, 0])
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            validate_bgpc(tiny_bipartite, colors)
+
+    def test_wrong_shape_rejected(self, tiny_bipartite):
+        with pytest.raises(InvalidColoringError, match="shape"):
+            validate_bgpc(tiny_bipartite, np.zeros(3, dtype=np.int64))
+
+    def test_find_conflict_skips_uncolored(self, tiny_bipartite):
+        colors = np.array([0, -1, 0, 1, 2])  # only 0 and 2 clash
+        assert find_bgpc_conflict(tiny_bipartite, colors) == (0, 2, 0)
+        colors = np.array([0, -1, -1, 1, 2])  # clash removed
+        assert find_bgpc_conflict(tiny_bipartite, colors) is None
+
+    def test_conflict_vertex_count(self, tiny_bipartite):
+        colors = np.array([0, 0, 0, 1, 2])  # 0,1,2 all clash in net 0
+        assert count_bgpc_conflict_vertices(tiny_bipartite, colors) == 3
+
+    def test_conflict_count_zero_when_valid(self, tiny_bipartite):
+        colors = np.array([0, 1, 2, 0, 1])
+        assert count_bgpc_conflict_vertices(tiny_bipartite, colors) == 0
+
+
+class TestD2gc:
+    def test_valid_star(self, star_graph):
+        colors = np.arange(7)
+        validate_d2gc(star_graph, colors)
+
+    def test_star_needs_distinct_colors(self, star_graph):
+        colors = np.array([0, 1, 2, 3, 4, 5, 1])  # two leaves share color 1
+        assert not is_valid_d2gc(star_graph, colors)
+        conflict = find_d2gc_conflict(star_graph, colors)
+        assert conflict is not None
+        assert conflict[2] == 0  # middle is the hub
+
+    def test_path_distance2(self, path_graph):
+        # 0-1-2-3-4: a 3-coloring pattern 0,1,2,0,1 is valid.
+        validate_d2gc(path_graph, np.array([0, 1, 2, 0, 1]))
+        # but 0,1,0,... clashes (0 and 2 are distance 2 apart).
+        assert not is_valid_d2gc(path_graph, np.array([0, 1, 0, 1, 2]))
+
+    def test_distance1_also_checked(self, path_graph):
+        assert not is_valid_d2gc(path_graph, np.array([0, 0, 1, 2, 3]))
+
+    def test_uncolored_rejected(self, path_graph):
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            validate_d2gc(path_graph, np.array([0, 1, 2, -1, 1]))
+
+    def test_conflict_vertex_count(self, star_graph):
+        colors = np.array([0, 1, 1, 2, 3, 4, 5])
+        assert count_d2gc_conflict_vertices(star_graph, colors) == 2
+
+    def test_partial_coloring_counting(self, star_graph):
+        colors = np.array([0, 1, -1, 2, 3, 4, 5])
+        assert count_d2gc_conflict_vertices(star_graph, colors) == 0
+
+
+class TestCrossCheck:
+    def test_bgpc_validity_equals_d1_on_conflict_graph(self, small_bipartite, rng):
+        """BGPC validity must coincide with distance-1 validity on the
+        materialized conflict graph — for valid and invalid colorings."""
+        from repro.graph.ops import bgpc_conflict_graph
+
+        cg = bgpc_conflict_graph(small_bipartite)
+        for trial in range(10):
+            colors = rng.integers(0, 12, size=small_bipartite.num_vertices)
+            expected = all(
+                colors[u] != colors[v]
+                for u in range(cg.num_vertices)
+                for v in cg.nbor(u)
+            )
+            assert is_valid_bgpc(small_bipartite, colors) == expected
+
+    def test_d2gc_validity_equals_d1_on_square(self, small_graph, rng):
+        from repro.graph.ops import d2gc_conflict_graph
+
+        sq = d2gc_conflict_graph(small_graph)
+        for trial in range(10):
+            colors = rng.integers(0, 40, size=small_graph.num_vertices)
+            expected = all(
+                colors[u] != colors[v]
+                for u in range(sq.num_vertices)
+                for v in sq.nbor(u)
+            )
+            assert is_valid_d2gc(small_graph, colors) == expected

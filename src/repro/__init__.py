@@ -29,6 +29,9 @@ from repro.graph import (
 )
 from repro.core import (
     BGPC_ALGORITHMS,
+    FASTPATH_MODES,
+    fastpath_color_bgpc,
+    fastpath_color_d2gc,
     color_distk,
     sequential_distk,
     validate_distk,
@@ -107,5 +110,8 @@ __all__ = [
     "jones_plassmann_d2gc",
     "rebalance_shuffle",
     "reduce_colors",
+    "FASTPATH_MODES",
+    "fastpath_color_bgpc",
+    "fastpath_color_d2gc",
     "__version__",
 ]

@@ -126,19 +126,47 @@ def run_algorithm(
     problem: str = "bgpc",
     ordering: str = "natural",
     policy_name: str = "U",
+    backend: str = "sim",
+    fastpath_mode: str = "exact",
 ) -> ColoringResult:
-    """One parallel coloring run (memoized)."""
-    key = ("par", problem, dataset, scale, algorithm, threads, ordering, policy_name)
+    """One parallel coloring run (memoized).
+
+    ``backend="numpy"`` runs the vectorized fast path instead of the
+    simulator; its results carry wall seconds rather than cycles, so the
+    cycle-based experiment tables should keep the default ``"sim"``.
+    """
+    key = (
+        "par",
+        problem,
+        dataset,
+        scale,
+        algorithm,
+        threads,
+        ordering,
+        policy_name,
+        backend,
+        fastpath_mode,
+    )
     if key not in _cache:
         instance = _instance_for(problem, dataset, scale, ordering)
         policy = None if policy_name == "U" else get_policy(policy_name)
         if problem == "bgpc":
             result = color_bgpc(
-                instance, algorithm=algorithm, threads=threads, policy=policy
+                instance,
+                algorithm=algorithm,
+                threads=threads,
+                policy=policy,
+                backend=backend,
+                fastpath_mode=fastpath_mode,
             )
         else:
             result = color_d2gc(
-                instance, algorithm=algorithm, threads=threads, policy=policy
+                instance,
+                algorithm=algorithm,
+                threads=threads,
+                policy=policy,
+                backend=backend,
+                fastpath_mode=fastpath_mode,
             )
         _cache[key] = result
     return _cache[key]

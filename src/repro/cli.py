@@ -5,6 +5,7 @@ Usage::
     python -m repro input.mtx --algorithm N1-N2 --threads 16
     python -m repro input.mtx --problem d2gc --ordering smallest-last
     python -m repro input.mtx --policy B2 --output colors.txt
+    python -m repro input.mtx --backend numpy --fastpath-mode speculative
 
 Prints a run summary (colors, rounds, conflicts, simulated cycles) and
 optionally writes the color of each vertex, one per line.
@@ -48,6 +49,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--threads", type=int, default=16, help="simulated cores (default 16)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "numpy"),
+        default="sim",
+        help="execution backend: the cycle-accurate simulator (sim, "
+        "default) or the vectorized wall-clock NumPy fast path (numpy); "
+        "see docs/backends.md",
+    )
+    parser.add_argument(
+        "--fastpath-mode",
+        choices=("exact", "speculative"),
+        default="exact",
+        help="numpy-backend flavour: exact reproduces the sequential "
+        "colors byte-for-byte, speculative is fastest (default: exact; "
+        "ignored with --backend sim)",
     )
     parser.add_argument(
         "--ordering",
@@ -103,6 +120,8 @@ def _run(args, bg, policy) -> int:
                 threads=args.threads,
                 policy=policy,
                 order=order,
+                backend=args.backend,
+                fastpath_mode=args.fastpath_mode,
             )
         validate_bgpc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -123,6 +142,8 @@ def _run(args, bg, policy) -> int:
                 threads=args.threads,
                 policy=policy,
                 order=order,
+                backend=args.backend,
+                fastpath_mode=args.fastpath_mode,
             )
         validate_d2gc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -130,12 +151,20 @@ def _run(args, bg, policy) -> int:
 
     stats = color_stats(result.colors)
     print(f"instance : {args.matrix} ({sizes})")
-    print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
-          f"{result.threads} simulated threads, ordering {args.ordering}, "
-          f"policy {args.policy}")
+    if result.backend == "numpy":
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"numpy backend ({args.fastpath_mode} mode), "
+              f"ordering {args.ordering}, policy {args.policy}")
+    else:
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"{result.threads} simulated threads, ordering {args.ordering}, "
+              f"policy {args.policy}")
     print(f"colors   : {result.num_colors} (lower bound {lower})")
     print(f"rounds   : {result.num_iterations}, conflicts {result.total_conflicts}")
-    print(f"cycles   : {result.cycles:.0f} (simulated)")
+    if result.backend == "numpy":
+        print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
+    else:
+        print(f"cycles   : {result.cycles:.0f} (simulated)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
     if args.output:

@@ -7,6 +7,8 @@ Public entry points:
 * :func:`repro.core.validate.validate_bgpc` / ``validate_d2gc``
 * :func:`repro.core.metrics.color_stats`
 * balancing policies in :mod:`repro.core.policies` (``B1Policy``, ``B2Policy``)
+* the vectorized NumPy backend in :mod:`repro.core.fastpath`
+  (``fastpath_color_bgpc``, ``fastpath_color_d2gc``, ``run_fastpath``)
 """
 
 from repro.core.bgpc import color_bgpc, sequential_bgpc, BGPC_ALGORITHMS
@@ -30,6 +32,13 @@ from repro.core.distk import (
 from repro.core.balance import rebalance_shuffle, ShuffleResult
 from repro.core.jp import jones_plassmann_bgpc, jones_plassmann_d2gc
 from repro.core.recolor import reduce_colors, RecolorResult
+from repro.core.fastpath import (
+    FASTPATH_MODES,
+    d2gc_groups_csr,
+    fastpath_color_bgpc,
+    fastpath_color_d2gc,
+    run_fastpath,
+)
 
 __all__ = [
     "color_bgpc",
@@ -61,4 +70,9 @@ __all__ = [
     "jones_plassmann_d2gc",
     "reduce_colors",
     "RecolorResult",
+    "FASTPATH_MODES",
+    "fastpath_color_bgpc",
+    "fastpath_color_d2gc",
+    "d2gc_groups_csr",
+    "run_fastpath",
 ]

@@ -85,6 +85,10 @@ class BGPCAdapter:
     def make_net_removal_kernel(self):
         return make_net_removal_kernel(self.bg, self.cost)
 
+    def fastpath_groups(self):
+        """Constraint groups for the NumPy backend: the nets themselves."""
+        return self.bg.net_to_vtxs
+
 
 def _apply_order(bg: BipartiteGraph, order: np.ndarray | None):
     if order is None:
@@ -110,6 +114,8 @@ def color_bgpc(
     policy=None,
     order: np.ndarray | None = None,
     max_iterations: int = 200,
+    backend: str = "sim",
+    fastpath_mode: str = "exact",
 ) -> ColoringResult:
     """Color the ``V_A`` side of ``bg`` with one of the paper's algorithms.
 
@@ -132,12 +138,21 @@ def color_bgpc(
         ``order[0], order[1], ...`` (e.g. from
         :func:`repro.order.smallest_last_order`).  The returned colors are
         indexed by the *original* vertex ids.
+    backend:
+        ``"sim"`` (default) for the cycle-accurate simulated machine,
+        ``"numpy"`` for the vectorized wall-clock fast path
+        (:mod:`repro.core.fastpath`); see ``docs/backends.md``.
+    fastpath_mode:
+        NumPy-backend flavour: ``"exact"`` (byte-identical to the
+        sequential reference) or ``"speculative"`` (fastest).  Ignored by
+        the simulator backend.
 
     Returns
     -------
     ColoringResult
         Colors (guaranteed valid), per-iteration records and simulated
-        timing.
+        timing (``backend="sim"``) or measured wall seconds
+        (``backend="numpy"``).
     """
     if algorithm not in BGPC_ALGORITHMS:
         raise KeyError(
@@ -154,6 +169,8 @@ def color_bgpc(
         cost=cost,
         policy=policy,
         max_iterations=max_iterations,
+        backend=backend,
+        fastpath_mode=fastpath_mode,
     )
     return _restore_order(result, perm)
 

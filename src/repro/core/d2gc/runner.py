@@ -54,6 +54,12 @@ class D2GCAdapter:
     def make_net_removal_kernel(self):
         return make_net_removal_kernel(self.g, self.cost)
 
+    def fastpath_groups(self):
+        """Constraint groups for the NumPy backend: closed neighborhoods."""
+        from repro.core.fastpath.d2gc import d2gc_groups_csr
+
+        return d2gc_groups_csr(self.g)
+
 
 def _apply_order(g: Graph, order: np.ndarray | None):
     if order is None:
@@ -79,11 +85,14 @@ def color_d2gc(
     policy=None,
     order: np.ndarray | None = None,
     max_iterations: int = 200,
+    backend: str = "sim",
+    fastpath_mode: str = "exact",
 ) -> ColoringResult:
     """Distance-2 color ``g`` with one of the paper's parallel algorithms.
 
     Same parameters and guarantees as :func:`repro.core.bgpc.color_bgpc`,
-    over a unipartite graph.
+    over a unipartite graph — including the ``backend`` switch between the
+    simulated machine and the vectorized NumPy fast path.
     """
     if algorithm not in D2GC_ALGORITHMS:
         raise KeyError(
@@ -100,6 +109,8 @@ def color_d2gc(
         cost=cost,
         policy=policy,
         max_iterations=max_iterations,
+        backend=backend,
+        fastpath_mode=fastpath_mode,
     )
     return _restore_order(result, perm)
 

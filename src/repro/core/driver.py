@@ -36,10 +36,21 @@ from repro.types import (
     UNCOLORED,
 )
 
-__all__ = ["AlgorithmSpec", "ProblemAdapter", "run_speculative", "run_sequential"]
+__all__ = [
+    "AlgorithmSpec",
+    "BACKENDS",
+    "ProblemAdapter",
+    "run_speculative",
+    "run_sequential",
+]
 
 #: Effectively-infinite iteration horizon (the paper's ``∞`` suffix).
 INF_ITERS = 10**9
+
+#: Execution backends accepted by :func:`run_speculative`: the
+#: cycle-accurate simulated machine, or the vectorized NumPy fast path
+#: (:mod:`repro.core.fastpath`).  See ``docs/backends.md``.
+BACKENDS = ("sim", "numpy")
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,46 @@ class ProblemAdapter(Protocol):
 
     def make_net_removal_kernel(self) -> Callable: ...
 
+    def fastpath_groups(self):
+        """Constraint-groups CSR for the NumPy backend.
+
+        Nets × vertices for BGPC, closed neighborhoods × vertices for
+        D2GC.  Only required when running with ``backend="numpy"``.
+        """
+        ...
+
+
+def _run_fastpath_backend(
+    adapter: ProblemAdapter,
+    spec: AlgorithmSpec,
+    policy,
+    fastpath_mode: str,
+) -> ColoringResult:
+    """Dispatch target for ``backend="numpy"``: one vectorized run."""
+    import time
+
+    from repro.core.fastpath.engine import run_fastpath
+
+    if policy is not None and not isinstance(policy, FirstFit):
+        raise ColoringError(
+            "backend='numpy' supports only the first-fit policy (U); "
+            f"got {type(policy).__name__} — run B1/B2 on the simulator"
+        )
+    groups = adapter.fastpath_groups()
+    t0 = time.perf_counter()
+    colors, records = run_fastpath(groups, mode=fastpath_mode)
+    wall = time.perf_counter() - t0
+    return ColoringResult(
+        colors=colors,
+        num_colors=int(colors.max()) + 1 if colors.size else 0,
+        iterations=records,
+        algorithm=spec.name,
+        threads=1,
+        cycles=0.0,
+        backend="numpy",
+        wall_seconds=wall,
+    )
+
 
 def run_speculative(
     adapter: ProblemAdapter,
@@ -113,6 +164,8 @@ def run_speculative(
     cost=None,
     policy=None,
     max_iterations: int = 200,
+    backend: str = "sim",
+    fastpath_mode: str = "exact",
 ) -> ColoringResult:
     """Run the full speculative loop of ``spec`` on a ``threads``-core machine.
 
@@ -121,10 +174,26 @@ def run_speculative(
     net-based coloring (the paper's "net-based variants are also similar").
     ``None`` or :class:`FirstFit` keeps the paper's default behaviour.
 
+    ``backend`` selects the execution vehicle (see ``docs/backends.md``):
+    ``"sim"`` (default) runs ``spec``'s kernels task-by-task on the
+    cycle-accurate :class:`Machine`; ``"numpy"`` runs the same speculative
+    template as whole-array passes in :mod:`repro.core.fastpath`, ignoring
+    ``threads``, ``cost``, ``max_iterations`` and ``spec``'s kernel
+    schedule (it is bounded by a provable ``n + 1`` rounds instead) and
+    honouring ``fastpath_mode`` — ``"exact"`` for byte-identical
+    sequential-greedy colors, ``"speculative"`` for the fastest few-round
+    variant.
+
     Raises :class:`ColoringError` if the loop fails to converge within
     ``max_iterations`` rounds (cannot happen for the paper's specs on finite
     graphs, but guards pathological custom kernels).
     """
+    if backend not in BACKENDS:
+        raise ColoringError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend == "numpy":
+        return _run_fastpath_backend(adapter, spec, policy, fastpath_mode)
     machine = Machine(threads, cost)
     machine.reset_thread_states()
     colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)

@@ -1,0 +1,28 @@
+"""Vectorized NumPy execution backend (``backend="numpy"``).
+
+Runs the speculative color → detect → repeat template as whole-array
+NumPy passes instead of per-task simulated kernels — see
+``docs/backends.md`` for when to prefer it over the simulator.
+
+Public entry points:
+
+* :func:`repro.core.fastpath.run_fastpath` — generic groups-CSR engine
+* :func:`repro.core.fastpath.fastpath_color_bgpc` /
+  :func:`repro.core.fastpath.fastpath_color_d2gc` — per-problem wrappers
+* :func:`repro.core.fastpath.d2gc_groups_csr` — the closed-neighborhood
+  reduction that lets one engine serve both problems
+* :data:`repro.core.fastpath.FASTPATH_MODES` — ``("exact", "speculative")``
+"""
+
+from repro.core.fastpath.bgpc import fastpath_color_bgpc
+from repro.core.fastpath.d2gc import d2gc_groups_csr, fastpath_color_d2gc
+from repro.core.fastpath.engine import FASTPATH_MODES, GroupLayout, run_fastpath
+
+__all__ = [
+    "FASTPATH_MODES",
+    "GroupLayout",
+    "run_fastpath",
+    "fastpath_color_bgpc",
+    "fastpath_color_d2gc",
+    "d2gc_groups_csr",
+]

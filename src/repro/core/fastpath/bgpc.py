@@ -1,0 +1,54 @@
+"""NumPy fast-path BGPC: color ``V_A`` at wall-clock speed.
+
+For BGPC the constraint groups are exactly the nets, so the bipartite
+instance's ``net_to_vtxs`` CSR feeds :func:`repro.core.fastpath.run_fastpath`
+directly.  Ordering support mirrors :func:`repro.core.bgpc.color_bgpc`:
+the graph is permuted up front and the colors are mapped back to original
+vertex ids afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fastpath.engine import run_fastpath
+from repro.graph.bipartite import BipartiteGraph
+from repro.types import ColoringResult
+
+__all__ = ["fastpath_color_bgpc"]
+
+
+def fastpath_color_bgpc(
+    bg: BipartiteGraph,
+    mode: str = "exact",
+    order: np.ndarray | None = None,
+    max_rounds: int | None = None,
+) -> ColoringResult:
+    """Color the ``V_A`` side of ``bg`` with the vectorized NumPy backend.
+
+    ``mode="exact"`` returns the byte-identical sequential-greedy palette;
+    ``mode="speculative"`` runs the paper's optimistic template in a few
+    whole-array rounds.  The result carries ``backend="numpy"``, measured
+    ``wall_seconds``, and zero simulated cycles.
+    """
+    t0 = time.perf_counter()
+    work = bg if order is None else bg.permute_vertices(
+        np.asarray(order, dtype=np.int64)
+    )
+    colors, records = run_fastpath(work.net_to_vtxs, mode=mode, max_rounds=max_rounds)
+    if order is not None:
+        restored = np.empty_like(colors)
+        restored[np.asarray(order, dtype=np.int64)] = colors
+        colors = restored
+    return ColoringResult(
+        colors=colors,
+        num_colors=int(colors.max()) + 1 if colors.size else 0,
+        iterations=records,
+        algorithm=f"fastpath-{mode}",
+        threads=1,
+        cycles=0.0,
+        backend="numpy",
+        wall_seconds=time.perf_counter() - t0,
+    )

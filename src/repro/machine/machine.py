@@ -1,7 +1,7 @@
 """The :class:`Machine` facade tying cost model, memory and engine together.
 
 A ``Machine`` is "a multicore with ``p`` threads": coloring runners create
-one per run, execute their phases through :meth:`parallel_for`, and read the
+one per run, execute their phases through :meth:`Machine.parallel_for`, and read the
 accumulated :class:`~repro.machine.trace.RunTrace` afterwards.
 """
 

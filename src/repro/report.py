@@ -44,8 +44,13 @@ def _timing_from_dict(payload: dict | None) -> PhaseTiming | None:
 
 
 def result_to_dict(result: ColoringResult) -> dict:
-    """Plain-dict (JSON-safe) form of a coloring result."""
-    return {
+    """Plain-dict (JSON-safe) form of a coloring result.
+
+    ``wall_seconds`` is intentionally not archived (it is measured, not
+    deterministic); ``backend`` is recorded only for non-simulator runs so
+    existing simulator archives stay byte-identical.
+    """
+    payload = {
         "format_version": _FORMAT_VERSION,
         "algorithm": result.algorithm,
         "threads": result.threads,
@@ -63,6 +68,9 @@ def result_to_dict(result: ColoringResult) -> dict:
             for rec in result.iterations
         ],
     }
+    if result.backend != "sim":
+        payload["backend"] = result.backend
+    return payload
 
 
 def result_from_dict(payload: dict) -> ColoringResult:
@@ -94,6 +102,7 @@ def result_from_dict(payload: dict) -> ColoringResult:
         algorithm=str(payload["algorithm"]),
         threads=int(payload["threads"]),
         cycles=float(payload["cycles"]),
+        backend=str(payload.get("backend", "sim")),
     )
 
 

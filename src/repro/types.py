@@ -117,9 +117,17 @@ class ColoringResult:
     algorithm:
         Name of the algorithm spec that produced this run (e.g. ``"N1-N2"``).
     threads:
-        Simulated thread count (1 for the sequential baseline).
+        Simulated thread count (1 for the sequential baseline and for the
+        NumPy backend, which is a single vectorized process).
     cycles:
-        Total simulated wall-clock cycles across all phases.
+        Total simulated wall-clock cycles across all phases (0 for the
+        NumPy backend — it has no simulated clock).
+    backend:
+        Which execution backend produced the run: ``"sim"`` (the
+        cycle-accurate machine) or ``"numpy"`` (the vectorized fast path).
+    wall_seconds:
+        Measured host wall-clock of the run for the NumPy backend; 0.0
+        for simulator runs, whose currency is ``cycles``.
     """
 
     colors: IntArray
@@ -128,6 +136,8 @@ class ColoringResult:
     algorithm: str = ""
     threads: int = 1
     cycles: float = 0.0
+    backend: str = "sim"
+    wall_seconds: float = 0.0
 
     @property
     def num_iterations(self) -> int:

@@ -1,0 +1,103 @@
+"""Documentation integrity checks (run in CI alongside the tier-1 suite).
+
+Two invariants keep the docs from drifting:
+
+* every relative link in ``README.md`` and ``docs/*.md`` resolves to a
+  file or directory in the repository;
+* every ``:func:``/``:class:``/``:data:``/``:mod:`` reference in a module
+  docstring under ``src/repro`` names a symbol that actually resolves —
+  either a dotted ``repro...`` path importable from the package root, or
+  a bare name present in the referencing module's namespace.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_REF_RE = re.compile(r":(func|class|data|mod|attr|meth):`~?([^`]+)`")
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+MODULE_FILES = sorted(
+    p
+    for p in (SRC_ROOT / "repro").rglob("*.py")
+    if "__pycache__" not in p.parts
+    # __main__ modules run the CLI at import time by design
+    and p.name != "__main__.py"
+)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    broken = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (doc.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO_ROOT)}: broken links {broken}"
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC_ROOT).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _resolves(ref: str, module) -> bool:
+    ref = ref.strip().rstrip("()")
+    if ref.startswith("repro"):
+        # dotted path: peel module prefix, then getattr the rest
+        parts = ref.split(".")
+        for split in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:split]))
+            except ImportError:
+                continue
+            try:
+                for attr in parts[split:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+            return True
+        return False
+    # bare (possibly dotted) name: walk it from the module's namespace,
+    # e.g. ``Machine.parallel_for`` -> getattr(getattr(mod, "Machine"), ...)
+    obj = module
+    for attr in ref.split("."):
+        if not hasattr(obj, attr):
+            return False
+        obj = getattr(obj, attr)
+    return True
+
+
+@pytest.mark.parametrize("path", MODULE_FILES, ids=_module_name)
+def test_docstring_references_resolve(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(tree)
+    if not docstring:
+        return
+    refs = _REF_RE.findall(docstring)
+    if not refs:
+        return
+    module = importlib.import_module(_module_name(path))
+    bad = [ref for _, ref in refs if not _resolves(ref, module)]
+    assert not bad, f"{path.relative_to(REPO_ROOT)}: unresolved references {bad}"

@@ -55,6 +55,13 @@ from repro.core import (
     validate_d2gc,
 )
 from repro.machine import CostModel, Machine
+from repro.obs import (
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    profile_table,
+)
 from repro.order import (
     natural_order,
     smallest_last_order,
@@ -113,5 +120,10 @@ __all__ = [
     "FASTPATH_MODES",
     "fastpath_color_bgpc",
     "fastpath_color_d2gc",
+    "TraceEvent",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "profile_table",
     "__version__",
 ]

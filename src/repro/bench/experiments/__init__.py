@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     figure3,
     ablations,
     manycore,
+    profile,
 )
 
 ALL_EXPERIMENTS = {
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "figure3": figure3.run,
     "ablations": ablations.run,
     "manycore": manycore.run,
+    "profile": profile.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -22,6 +22,7 @@ from repro.types import ColoringResult
 
 __all__ = [
     "geomean",
+    "iteration_report",
     "run_algorithm",
     "run_sequential_baseline",
     "clear_cache",
@@ -39,6 +40,22 @@ def clear_cache() -> None:
     _cache.clear()
     _order_cache.clear()
     _instance_cache.clear()
+
+
+def iteration_report(result: ColoringResult, label: str = "") -> list[tuple]:
+    """Per-iteration breakdown rows of a run, for experiment tables.
+
+    Delegates to :func:`repro.obs.iteration_breakdown` and prefixes every
+    row with ``label`` (e.g. ``"N1-N2/sim"``), so experiments can stack the
+    per-iteration columns of several runs in one table.  The returned rows
+    include the breakdown's ``total`` (and, for NumPy runs, ``setup``)
+    summary rows, whose cost column sums exactly to the run's end-to-end
+    ``cycles`` / ``wall_seconds``.
+    """
+    from repro.obs import iteration_breakdown
+
+    _, rows = iteration_breakdown(result)
+    return [(label, *row) for row in rows] if label else rows
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -6,9 +6,13 @@ Usage::
     python -m repro input.mtx --problem d2gc --ordering smallest-last
     python -m repro input.mtx --policy B2 --output colors.txt
     python -m repro input.mtx --backend numpy --fastpath-mode speculative
+    python -m repro input.mtx --profile --trace run.jsonl
 
 Prints a run summary (colors, rounds, conflicts, simulated cycles) and
-optionally writes the color of each vertex, one per line.
+optionally writes the color of each vertex, one per line.  ``--profile``
+adds the per-iteration phase breakdown (the paper's Figure 1 shape) and
+``--trace`` streams structured span/counter events to a JSONL file — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -81,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output", default=None, help="write one color per line to this file"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-iteration phase breakdown (queue sizes, "
+        "conflicts, palette growth, cycles or wall ms per round); see "
+        "docs/observability.md",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream structured trace events (spans/counters) to FILE as "
+        "JSON lines; see docs/observability.md for the event schema",
+    )
     return parser
 
 
@@ -96,14 +114,22 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     policy = None if args.policy == "U" else get_policy(args.policy)
 
+    tracer = None
     try:
-        return _run(args, bg, policy)
+        if args.trace:
+            from repro.obs import JsonlTracer
+
+            tracer = JsonlTracer(args.trace)
+        return _run(args, bg, policy, tracer)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
-def _run(args, bg, policy) -> int:
+def _run(args, bg, policy, tracer=None) -> int:
     if args.problem == "bgpc":
         instance = bg
         order = (
@@ -112,7 +138,9 @@ def _run(args, bg, policy) -> int:
             else get_ordering(args.ordering)(instance)
         )
         if args.algorithm == "sequential":
-            result = sequential_bgpc(instance, policy=policy, order=order)
+            result = sequential_bgpc(
+                instance, policy=policy, order=order, tracer=tracer
+            )
         else:
             result = color_bgpc(
                 instance,
@@ -122,6 +150,7 @@ def _run(args, bg, policy) -> int:
                 order=order,
                 backend=args.backend,
                 fastpath_mode=args.fastpath_mode,
+                tracer=tracer,
             )
         validate_bgpc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -134,7 +163,9 @@ def _run(args, bg, policy) -> int:
             else get_ordering(args.ordering)(instance)
         )
         if args.algorithm == "sequential":
-            result = sequential_d2gc(instance, policy=policy, order=order)
+            result = sequential_d2gc(
+                instance, policy=policy, order=order, tracer=tracer
+            )
         else:
             result = color_d2gc(
                 instance,
@@ -144,6 +175,7 @@ def _run(args, bg, policy) -> int:
                 order=order,
                 backend=args.backend,
                 fastpath_mode=args.fastpath_mode,
+                tracer=tracer,
             )
         validate_d2gc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -167,6 +199,13 @@ def _run(args, bg, policy) -> int:
         print(f"cycles   : {result.cycles:.0f} (simulated)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
+    if args.profile:
+        from repro.obs import profile_table
+
+        print()
+        print(profile_table(result))
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if args.output:
         with open(args.output, "w", encoding="ascii") as fh:
             fh.writelines(f"{c}\n" for c in result.colors)

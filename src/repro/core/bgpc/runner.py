@@ -116,6 +116,7 @@ def color_bgpc(
     max_iterations: int = 200,
     backend: str = "sim",
     fastpath_mode: str = "exact",
+    tracer=None,
 ) -> ColoringResult:
     """Color the ``V_A`` side of ``bg`` with one of the paper's algorithms.
 
@@ -146,6 +147,10 @@ def color_bgpc(
         NumPy-backend flavour: ``"exact"`` (byte-identical to the
         sequential reference) or ``"speculative"`` (fastest).  Ignored by
         the simulator backend.
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving structured
+        per-iteration/per-phase events (see ``docs/observability.md``);
+        ``None`` (default) traces nothing at zero cost.
 
     Returns
     -------
@@ -171,6 +176,7 @@ def color_bgpc(
         max_iterations=max_iterations,
         backend=backend,
         fastpath_mode=fastpath_mode,
+        tracer=tracer,
     )
     return _restore_order(result, perm)
 
@@ -180,10 +186,13 @@ def sequential_bgpc(
     cost: CostModel | None = None,
     policy=None,
     order: np.ndarray | None = None,
+    tracer=None,
 ) -> ColoringResult:
     """Sequential greedy BGPC baseline (paper Table II, "Sequential BGPC")."""
     cost = cost if cost is not None else CostModel()
     work_graph, perm = _apply_order(bg, order)
     adapter = BGPCAdapter(work_graph, cost)
-    result = run_sequential(adapter, cost=cost, policy=policy, name="sequential")
+    result = run_sequential(
+        adapter, cost=cost, policy=policy, name="sequential", tracer=tracer
+    )
     return _restore_order(result, perm)

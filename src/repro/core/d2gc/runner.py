@@ -87,12 +87,14 @@ def color_d2gc(
     max_iterations: int = 200,
     backend: str = "sim",
     fastpath_mode: str = "exact",
+    tracer=None,
 ) -> ColoringResult:
     """Distance-2 color ``g`` with one of the paper's parallel algorithms.
 
     Same parameters and guarantees as :func:`repro.core.bgpc.color_bgpc`,
     over a unipartite graph — including the ``backend`` switch between the
-    simulated machine and the vectorized NumPy fast path.
+    simulated machine and the vectorized NumPy fast path, and the
+    ``tracer`` hook into :mod:`repro.obs`.
     """
     if algorithm not in D2GC_ALGORITHMS:
         raise KeyError(
@@ -111,6 +113,7 @@ def color_d2gc(
         max_iterations=max_iterations,
         backend=backend,
         fastpath_mode=fastpath_mode,
+        tracer=tracer,
     )
     return _restore_order(result, perm)
 
@@ -120,10 +123,13 @@ def sequential_d2gc(
     cost: CostModel | None = None,
     policy=None,
     order: np.ndarray | None = None,
+    tracer=None,
 ) -> ColoringResult:
     """Sequential greedy D2GC baseline (ColPack ships only this flavour)."""
     cost = cost if cost is not None else CostModel()
     work_graph, perm = _apply_order(g, order)
     adapter = D2GCAdapter(work_graph, cost)
-    result = run_sequential(adapter, cost=cost, policy=policy, name="sequential")
+    result = run_sequential(
+        adapter, cost=cost, policy=policy, name="sequential", tracer=tracer
+    )
     return _restore_order(result, perm)

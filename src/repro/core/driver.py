@@ -130,20 +130,30 @@ def _run_fastpath_backend(
     spec: AlgorithmSpec,
     policy,
     fastpath_mode: str,
+    tracer=None,
 ) -> ColoringResult:
     """Dispatch target for ``backend="numpy"``: one vectorized run."""
     import time
 
     from repro.core.fastpath.engine import run_fastpath
+    from repro.obs.tracer import ensure_tracer
 
     if policy is not None and not isinstance(policy, FirstFit):
         raise ColoringError(
             "backend='numpy' supports only the first-fit policy (U); "
             f"got {type(policy).__name__} — run B1/B2 on the simulator"
         )
+    tracer = ensure_tracer(tracer)
     groups = adapter.fastpath_groups()
     t0 = time.perf_counter()
-    colors, records = run_fastpath(groups, mode=fastpath_mode)
+    with tracer.span(
+        "run", algorithm=spec.name, backend="numpy", mode=fastpath_mode
+    ) as run_span:
+        colors, records = run_fastpath(groups, mode=fastpath_mode, tracer=tracer)
+        run_span.set(
+            num_colors=int(colors.max()) + 1 if colors.size else 0,
+            iterations=len(records),
+        )
     wall = time.perf_counter() - t0
     return ColoringResult(
         colors=colors,
@@ -166,6 +176,7 @@ def run_speculative(
     max_iterations: int = 200,
     backend: str = "sim",
     fastpath_mode: str = "exact",
+    tracer=None,
 ) -> ColoringResult:
     """Run the full speculative loop of ``spec`` on a ``threads``-core machine.
 
@@ -184,17 +195,27 @@ def run_speculative(
     sequential-greedy colors, ``"speculative"`` for the fastest few-round
     variant.
 
+    ``tracer`` hooks the run into the observability layer
+    (:mod:`repro.obs`): per-iteration and per-phase spans with queue sizes,
+    conflicts, palette growth and cycle counts.  ``None`` (default) routes
+    through the zero-overhead :class:`repro.obs.NullTracer`.
+
     Raises :class:`ColoringError` if the loop fails to converge within
     ``max_iterations`` rounds (cannot happen for the paper's specs on finite
     graphs, but guards pathological custom kernels).
     """
+    from repro.obs.tracer import ensure_tracer
+
     if backend not in BACKENDS:
         raise ColoringError(
             f"unknown backend {backend!r}; choose from {BACKENDS}"
         )
     if backend == "numpy":
-        return _run_fastpath_backend(adapter, spec, policy, fastpath_mode)
-    machine = Machine(threads, cost)
+        return _run_fastpath_backend(
+            adapter, spec, policy, fastpath_mode, tracer=tracer
+        )
+    tracer = ensure_tracer(tracer)
+    machine = Machine(threads, cost, tracer=tracer)
     machine.reset_thread_states()
     colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
     memory = machine.make_memory(colors)
@@ -211,67 +232,115 @@ def run_speculative(
     work = np.arange(adapter.n_targets, dtype=np.int64)
     records: list[IterationRecord] = []
     iteration = 0
+    palette = 0
 
-    while work.size:
-        if iteration >= max_iterations:
-            raise ColoringError(
-                f"{spec.name} did not converge in {max_iterations} iterations "
-                f"({work.size} vertices still queued)"
-            )
-        # ---- coloring phase -------------------------------------------------
-        if iteration < spec.net_color_iters:
-            color_timing, _ = machine.parallel_for(
-                adapter.n_nets,
-                net_color,
-                memory,
-                schedule=schedule,
-                phase_kind=PhaseKind.COLOR,
-            )
-        else:
-            color_timing, _ = machine.parallel_for(
-                work.size,
-                vertex_color,
-                memory,
-                schedule=schedule,
-                phase_kind=PhaseKind.COLOR,
-                task_ids=work,
-            )
-        # ---- conflict-removal phase ------------------------------------------
-        if iteration < spec.net_removal_iters:
-            remove_timing, _ = machine.parallel_for(
-                adapter.n_nets,
-                net_remove,
-                memory,
-                schedule=schedule,
-                phase_kind=PhaseKind.REMOVE,
-                extra_wall=machine.parallel_scan_cost(adapter.n_targets),
-            )
-            next_work = np.nonzero(memory.values == UNCOLORED)[0].astype(np.int64)
-        else:
-            remove_timing, queued = machine.parallel_for(
-                work.size,
-                vertex_remove,
-                memory,
-                schedule=schedule,
-                queue_mode=spec.queue_mode,
-                phase_kind=PhaseKind.REMOVE,
-                task_ids=work,
-            )
-            next_work = np.asarray(queued, dtype=np.int64)
+    with tracer.span(
+        "run", algorithm=spec.name, backend="sim", threads=threads
+    ) as run_span:
+        while work.size:
+            if iteration >= max_iterations:
+                raise ColoringError(
+                    f"{spec.name} did not converge in {max_iterations} iterations "
+                    f"({work.size} vertices still queued)"
+                )
+            with tracer.span(
+                "iteration", iteration=iteration, queue_size=int(work.size)
+            ) as iter_span:
+                # ---- coloring phase -----------------------------------------
+                color_kind = "net" if iteration < spec.net_color_iters else "vertex"
+                with tracer.span(
+                    "phase",
+                    iteration=iteration,
+                    phase=PhaseKind.COLOR,
+                    kind=color_kind,
+                ) as phase_span:
+                    if color_kind == "net":
+                        color_timing, _ = machine.parallel_for(
+                            adapter.n_nets,
+                            net_color,
+                            memory,
+                            schedule=schedule,
+                            phase_kind=PhaseKind.COLOR,
+                        )
+                    else:
+                        color_timing, _ = machine.parallel_for(
+                            work.size,
+                            vertex_color,
+                            memory,
+                            schedule=schedule,
+                            phase_kind=PhaseKind.COLOR,
+                            task_ids=work,
+                        )
+                    phase_span.set(
+                        items=color_timing.tasks, cycles=color_timing.cycles
+                    )
+                # ---- conflict-removal phase ---------------------------------
+                remove_kind = "net" if iteration < spec.net_removal_iters else "vertex"
+                with tracer.span(
+                    "phase",
+                    iteration=iteration,
+                    phase=PhaseKind.REMOVE,
+                    kind=remove_kind,
+                ) as phase_span:
+                    if remove_kind == "net":
+                        remove_timing, _ = machine.parallel_for(
+                            adapter.n_nets,
+                            net_remove,
+                            memory,
+                            schedule=schedule,
+                            phase_kind=PhaseKind.REMOVE,
+                            extra_wall=machine.parallel_scan_cost(adapter.n_targets),
+                        )
+                        next_work = np.nonzero(memory.values == UNCOLORED)[0].astype(
+                            np.int64
+                        )
+                    else:
+                        remove_timing, queued = machine.parallel_for(
+                            work.size,
+                            vertex_remove,
+                            memory,
+                            schedule=schedule,
+                            queue_mode=spec.queue_mode,
+                            phase_kind=PhaseKind.REMOVE,
+                            task_ids=work,
+                        )
+                        next_work = np.asarray(queued, dtype=np.int64)
+                    phase_span.set(
+                        items=remove_timing.tasks,
+                        cycles=remove_timing.cycles,
+                        conflicts=int(next_work.size),
+                    )
 
-        records.append(
-            IterationRecord(
-                index=iteration,
-                queue_size=int(work.size),
-                conflicts=int(next_work.size),
-                color_timing=color_timing,
-                remove_timing=remove_timing,
-            )
+                # Palette growth: the high-water color count is monotone (a
+                # net-based removal may reset colors, never retire them).
+                committed_max = int(memory.values.max()) if memory.values.size else -1
+                colors_introduced = max(0, committed_max + 1 - palette)
+                palette = max(palette, committed_max + 1)
+
+                records.append(
+                    IterationRecord(
+                        index=iteration,
+                        queue_size=int(work.size),
+                        conflicts=int(next_work.size),
+                        color_timing=color_timing,
+                        remove_timing=remove_timing,
+                        colors_introduced=colors_introduced,
+                    )
+                )
+                iter_span.set(
+                    conflicts=int(next_work.size),
+                    colors_introduced=colors_introduced,
+                    cycles=color_timing.cycles + remove_timing.cycles,
+                )
+            work = next_work
+            iteration += 1
+
+        final = memory.snapshot()
+        run_span.set(
+            iterations=iteration,
+            cycles=machine.trace.total_cycles,
+            num_colors=int(final.max()) + 1 if final.size else 0,
         )
-        work = next_work
-        iteration += 1
-
-    final = memory.snapshot()
     if final.size and final.min() < 0:
         raise ColoringError(
             f"{spec.name} finished with {int((final < 0).sum())} uncolored vertices"
@@ -291,32 +360,47 @@ def run_sequential(
     cost=None,
     policy=None,
     name: str = "sequential",
+    tracer=None,
 ) -> ColoringResult:
     """Sequential greedy baseline: one thread, one pass, no verification.
 
     The paper's Table II notes that sequential executions skip the conflict
     detection phase entirely; we reproduce that by running the vertex-based
     coloring kernel once, statically scheduled on one thread (no chunk fees,
-    no races).
+    no races).  ``tracer`` hooks the single pass into :mod:`repro.obs`.
     """
-    machine = Machine(1, cost)
+    from repro.obs.tracer import ensure_tracer
+
+    tracer = ensure_tracer(tracer)
+    machine = Machine(1, cost, tracer=tracer)
     colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
     memory = machine.make_memory(colors)
     kernel = adapter.make_vertex_color_kernel(policy if policy is not None else FirstFit())
-    timing, _ = machine.parallel_for(
-        adapter.n_targets,
-        kernel,
-        memory,
-        schedule=Schedule.static(),
-        phase_kind=PhaseKind.COLOR,
-    )
-    final = memory.snapshot()
+    with tracer.span("run", algorithm=name, backend="sim", threads=1) as run_span:
+        with tracer.span(
+            "phase", iteration=0, phase=PhaseKind.COLOR, kind="vertex"
+        ) as phase_span:
+            timing, _ = machine.parallel_for(
+                adapter.n_targets,
+                kernel,
+                memory,
+                schedule=Schedule.static(),
+                phase_kind=PhaseKind.COLOR,
+            )
+            phase_span.set(items=timing.tasks, cycles=timing.cycles)
+        final = memory.snapshot()
+        run_span.set(
+            iterations=1,
+            cycles=machine.trace.total_cycles,
+            num_colors=int(final.max()) + 1 if final.size else 0,
+        )
     record = IterationRecord(
         index=0,
         queue_size=adapter.n_targets,
         conflicts=0,
         color_timing=timing,
         remove_timing=None,
+        colors_introduced=int(final.max()) + 1 if final.size else 0,
     )
     return ColoringResult(
         colors=final,

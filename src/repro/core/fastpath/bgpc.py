@@ -25,19 +25,23 @@ def fastpath_color_bgpc(
     mode: str = "exact",
     order: np.ndarray | None = None,
     max_rounds: int | None = None,
+    tracer=None,
 ) -> ColoringResult:
     """Color the ``V_A`` side of ``bg`` with the vectorized NumPy backend.
 
     ``mode="exact"`` returns the byte-identical sequential-greedy palette;
     ``mode="speculative"`` runs the paper's optimistic template in a few
     whole-array rounds.  The result carries ``backend="numpy"``, measured
-    ``wall_seconds``, and zero simulated cycles.
+    ``wall_seconds``, and zero simulated cycles.  ``tracer`` streams
+    per-round events through :mod:`repro.obs`.
     """
     t0 = time.perf_counter()
     work = bg if order is None else bg.permute_vertices(
         np.asarray(order, dtype=np.int64)
     )
-    colors, records = run_fastpath(work.net_to_vtxs, mode=mode, max_rounds=max_rounds)
+    colors, records = run_fastpath(
+        work.net_to_vtxs, mode=mode, max_rounds=max_rounds, tracer=tracer
+    )
     if order is not None:
         restored = np.empty_like(colors)
         restored[np.asarray(order, dtype=np.int64)] = colors

@@ -39,16 +39,17 @@ def fastpath_color_d2gc(
     mode: str = "exact",
     order: np.ndarray | None = None,
     max_rounds: int | None = None,
+    tracer=None,
 ) -> ColoringResult:
     """Distance-2 color ``g`` with the vectorized NumPy backend.
 
-    Same modes and result shape as
+    Same modes, result shape and ``tracer`` hook as
     :func:`repro.core.fastpath.fastpath_color_bgpc`.
     """
     t0 = time.perf_counter()
     work = g if order is None else g.permute(np.asarray(order, dtype=np.int64))
     groups = d2gc_groups_csr(work)
-    colors, records = run_fastpath(groups, mode=mode, max_rounds=max_rounds)
+    colors, records = run_fastpath(groups, mode=mode, max_rounds=max_rounds, tracer=tracer)
     if order is not None:
         restored = np.empty_like(colors)
         restored[np.asarray(order, dtype=np.int64)] = colors

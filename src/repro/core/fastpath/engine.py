@@ -32,16 +32,22 @@ Two modes are provided:
     palette may differ from the sequential one.
 
 Everything here is pure NumPy on int32/int64 arrays; no simulated machine,
-no cycle counts.  The per-round records report queue sizes and conflicts
-with ``None`` timings.
+no cycle counts.  The per-round records report queue sizes, conflicts,
+palette growth (``colors_introduced``) and measured per-round
+``wall_seconds``, with ``None`` phase timings; pass a
+:class:`repro.obs.Tracer` to stream the same numbers as structured
+``setup``/``round`` events (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.errors import ColoringError
 from repro.graph.csr import CSR
+from repro.obs.tracer import NULL_TRACER, ensure_tracer
 from repro.types import IterationRecord, UNCOLORED
 
 __all__ = ["FASTPATH_MODES", "GroupLayout", "run_fastpath"]
@@ -115,7 +121,7 @@ class GroupLayout:
         self.prefix_len = order - gptr[self.tgroups]
 
 
-def _color_exact(lay: GroupLayout, max_rounds: int):
+def _color_exact(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
     """Level-synchronous rounds; byte-identical to sequential greedy.
 
     Invariant: a vertex is frontier exactly when every uncolored member of
@@ -143,6 +149,8 @@ def _color_exact(lay: GroupLayout, max_rounds: int):
             raise ColoringError(
                 f"fastpath exact mode did not converge in {max_rounds} rounds"
             )
+        t_round = time.perf_counter()
+        cmax_before = cmax
         F = frontier
         flat_idx, own1 = _ragged_take(
             np.arange(lay.tgroups.size, dtype=np.int64), lay.tptr[F], lay.tdeg[F]
@@ -174,6 +182,10 @@ def _color_exact(lay: GroupLayout, max_rounds: int):
             if settled.size:
                 new_front_src.append(settled)
             active = active[is_colored]
+        # First-fit colors are introduced in order (the used set is always a
+        # prefix of 0..cmax), so palette growth is exactly the cmax delta.
+        introduced = cmax - cmax_before
+        round_wall = time.perf_counter() - t_round
         records.append(
             IterationRecord(
                 index=rounds,
@@ -181,8 +193,22 @@ def _color_exact(lay: GroupLayout, max_rounds: int):
                 conflicts=0,
                 color_timing=None,
                 remove_timing=None,
+                colors_introduced=introduced,
+                wall_seconds=round_wall,
             )
         )
+        if tracer.enabled:
+            tracer.event(
+                "span",
+                "round",
+                round_wall,
+                mode="exact",
+                iteration=rounds,
+                queue_size=int(F.size),
+                items=int(F.size),
+                conflicts=0,
+                colors_introduced=introduced,
+            )
         if new_front_src:
             mvals = np.concatenate(new_front_src).astype(np.int64)
             np.add.at(count, mvals, 1)
@@ -194,7 +220,7 @@ def _color_exact(lay: GroupLayout, max_rounds: int):
     return colors.astype(np.int64), records
 
 
-def _color_speculative(lay: GroupLayout, max_rounds: int):
+def _color_speculative(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
     """Optimistic rounds: rank-offset first fit + net-based detection."""
     from scipy import sparse
 
@@ -208,11 +234,13 @@ def _color_speculative(lay: GroupLayout, max_rounds: int):
     cmax = -1
     rounds = 0
     uncolored = n
+    palette = 0
     while uncolored:
         if rounds >= max_rounds:
             raise ColoringError(
                 f"fastpath speculative mode did not converge in {max_rounds} rounds"
             )
+        t_round = time.perf_counter()
         entry_col = colors[gidx]
         unc_entry = entry_col < 0
         # rank = max over the vertex's groups of the number of *smaller*
@@ -265,6 +293,12 @@ def _color_speculative(lay: GroupLayout, max_rounds: int):
         dup = np.concatenate(([False], sk[1:] == sk[:-1]))
         losers = np.unique(sv[dup]).astype(np.int64)
         colors[losers] = UNCOLORED
+        # Palette growth measured on the *committed* state (post-demotion):
+        # a tentative color whose every claimant lost does not count yet.
+        committed_max = int(colors.max(initial=-1)) if n else -1
+        introduced = max(0, committed_max + 1 - palette)
+        palette = max(palette, committed_max + 1)
+        round_wall = time.perf_counter() - t_round
         records.append(
             IterationRecord(
                 index=rounds,
@@ -272,8 +306,22 @@ def _color_speculative(lay: GroupLayout, max_rounds: int):
                 conflicts=int(losers.size),
                 color_timing=None,
                 remove_timing=None,
+                colors_introduced=introduced,
+                wall_seconds=round_wall,
             )
         )
+        if tracer.enabled:
+            tracer.event(
+                "span",
+                "round",
+                round_wall,
+                mode="speculative",
+                iteration=rounds,
+                queue_size=int(queue.size),
+                items=int(queue.size),
+                conflicts=int(losers.size),
+                colors_introduced=introduced,
+            )
         uncolored = int(losers.size)
         rounds += 1
     return colors.astype(np.int64), records
@@ -283,6 +331,7 @@ def run_fastpath(
     groups: CSR,
     mode: str = "exact",
     max_rounds: int | None = None,
+    tracer=None,
 ):
     """Color the vertices of a groups CSR with whole-array NumPy passes.
 
@@ -299,20 +348,29 @@ def run_fastpath(
         Safety bound on rounds; defaults to ``n + 1``, which both modes
         provably never exceed (the globally smallest uncolored vertex
         always makes progress).
+    tracer:
+        Optional :class:`repro.obs.Tracer`: a ``setup`` span for the
+        :class:`GroupLayout` build and one ``round`` span per vectorized
+        round (queue size, conflicts, palette growth, wall seconds).
+        ``None`` (default) is the zero-overhead null tracer.
 
     Returns
     -------
     (colors, records):
         ``colors`` is a dense int64 array with no ``UNCOLORED`` entries;
         ``records`` are per-round :class:`~repro.types.IterationRecord`
-        entries with ``None`` timings (there is no simulated clock here).
+        entries with ``None`` timings (there is no simulated clock here)
+        but measured per-round ``wall_seconds`` and ``colors_introduced``.
     """
     if mode not in FASTPATH_MODES:
         raise ColoringError(
             f"unknown fastpath mode {mode!r}; choose from {FASTPATH_MODES}"
         )
-    lay = GroupLayout(groups)
+    tracer = ensure_tracer(tracer)
+    with tracer.span("setup", mode=mode) as setup_span:
+        lay = GroupLayout(groups)
+        setup_span.set(vertices=lay.n, groups=lay.n_groups, entries=int(lay.gidx.size))
     bound = max_rounds if max_rounds is not None else lay.n + 1
     if mode == "exact":
-        return _color_exact(lay, bound)
-    return _color_speculative(lay, bound)
+        return _color_exact(lay, bound, tracer)
+    return _color_speculative(lay, bound, tracer)

@@ -115,6 +115,7 @@ def run_parallel_for(
     thread_states: list[dict] | None = None,
     phase_kind: str = "color",
     task_ids=None,
+    tracer=None,
 ) -> tuple[PhaseTiming, list[int]]:
     """Simulate one parallel-for phase and return its timing and queue.
 
@@ -134,6 +135,10 @@ def run_parallel_for(
         cost and ordering semantics of ``ctx.append``.
     thread_states:
         Optional per-thread persistent dicts (length ``threads``).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given (and enabled), the
+        phase's simulated cycle count is emitted as a
+        ``machine.phase_cycles`` counter with kind/tasks/threads attributes.
 
     Returns
     -------
@@ -252,4 +257,12 @@ def run_parallel_for(
         thread_cycles=tuple(float(b) for b in thread_busy),
         tasks=n_tasks,
     )
+    if tracer is not None and tracer.enabled:
+        tracer.counter(
+            "machine.phase_cycles",
+            timing.cycles,
+            kind=phase_kind,
+            tasks=n_tasks,
+            threads=threads,
+        )
     return timing, queue_items

@@ -37,14 +37,19 @@ class Machine:
         Number of virtual hardware threads (``>= 1``).
     cost:
         Cycle-cost model; defaults to the calibrated :class:`CostModel`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; every phase the machine runs
+        emits a ``machine.phase_cycles`` counter through it.  ``None``
+        (default) means no tracing overhead at all.
     """
 
-    def __init__(self, threads: int, cost: CostModel | None = None):
+    def __init__(self, threads: int, cost: CostModel | None = None, tracer=None):
         if threads < 1:
             raise MachineError(f"threads must be >= 1, got {threads}")
         self.threads = int(threads)
         self.cost = cost if cost is not None else CostModel()
         self.trace = RunTrace(threads=self.threads)
+        self.tracer = tracer
         self._thread_states: list[dict] = [{} for _ in range(self.threads)]
 
     # -- shared state -------------------------------------------------------
@@ -102,6 +107,16 @@ class Machine:
                 tasks=timing.tasks,
             )
         self.trace.add(timing)
+        # Emitted here, not in run_parallel_for, so the counter includes the
+        # extra_wall adjustment and always equals the recorded phase timing.
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.counter(
+                "machine.phase_cycles",
+                timing.cycles,
+                kind=timing.kind,
+                tasks=timing.tasks,
+                threads=self.threads,
+            )
         return timing, queue
 
     # -- auxiliary cost helpers -----------------------------------------------

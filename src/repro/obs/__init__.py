@@ -1,0 +1,40 @@
+"""Observability for coloring runs: tracing, counters, profiling tables.
+
+Three tracer implementations share one protocol (:class:`Tracer`):
+
+* :class:`NullTracer` — the zero-overhead default (no tracer passed);
+* :class:`RecordingTracer` — in-memory events, for tests and tables;
+* :class:`JsonlTracer` — one JSON line per event, for offline analysis.
+
+Pass any of them as the ``tracer=`` keyword of
+:func:`repro.core.bgpc.color_bgpc` / :func:`repro.core.d2gc.color_d2gc`
+(or the driver/fastpath entry points they wrap); the CLI flags are
+``--trace out.jsonl`` and ``--profile``.  :func:`profile_table` renders
+the per-iteration breakdown that reproduces the paper's Figure 1 shape.
+See ``docs/observability.md`` for the full event schema.
+"""
+
+from repro.obs.profile import iteration_breakdown, profile_table
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    ensure_tracer,
+    read_jsonl_trace,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "ensure_tracer",
+    "read_jsonl_trace",
+    "iteration_breakdown",
+    "profile_table",
+]

@@ -1,0 +1,295 @@
+"""Structured tracing of coloring runs: spans, counters, and sinks.
+
+The paper's central empirical claim is an *iteration breakdown* — 78–89% of
+BGPC runtime lives in the first one or two rounds (Figure 1) — so the
+drivers need a way to say *where* time goes, per iteration and per phase,
+without the instrumentation itself costing anything when nobody listens.
+This module provides that layer:
+
+* :class:`TraceEvent` — one structured event: a **span** (a named interval
+  with a measured wall-clock duration and attributes) or a **counter** (a
+  named value with attributes).
+* :class:`NullTracer` — the zero-overhead default.  Every instrumentation
+  site goes through it when no tracer is passed; its span object is a
+  shared singleton whose enter/exit do nothing, so the hot loops pay only
+  a method call per *round* (never per task).
+* :class:`RecordingTracer` — keeps events in memory, in emission order.
+  Powers the tests and the profile tables.
+* :class:`JsonlTracer` — streams each event as one JSON line to a file
+  (CLI flag ``--trace out.jsonl``) for offline analysis.
+
+Event vocabulary used by the instrumented drivers (see
+``docs/observability.md`` for the field-by-field schema):
+
+========================  =======  ==========================================
+name                      type     emitted by
+========================  =======  ==========================================
+``run``                   span     one per coloring run (both backends)
+``iteration``             span     one per speculative round (sim driver)
+``phase``                 span     one per color/remove phase (sim driver)
+``round``                 span     one per vectorized round (fastpath)
+``setup``                 span     fastpath :class:`~repro.core.fastpath.engine.GroupLayout` build
+``machine.phase_cycles``  counter  simulated cycles of one ``parallel_for``
+========================  =======  ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "ensure_tracer",
+    "read_jsonl_trace",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One structured observability event.
+
+    Attributes
+    ----------
+    type:
+        ``"span"`` (a timed interval) or ``"counter"`` (a point value).
+    name:
+        Event name from the vocabulary above (``"iteration"``, ``"phase"``,
+        ``"round"``, ``"run"``, ``"setup"``, ``"machine.phase_cycles"``).
+    value:
+        For spans: measured wall-clock duration in seconds.  For counters:
+        the counted value (e.g. simulated cycles).
+    attrs:
+        Structured attributes — iteration index, phase (``color`` /
+        ``remove``), kernel kind (``vertex`` / ``net``), items processed,
+        conflicts found, colors introduced, queue sizes, simulated cycles.
+    """
+
+    type: str
+    name: str
+    value: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Stable one-line JSON form (sorted keys, ASCII)."""
+        return json.dumps(
+            {
+                "type": self.type,
+                "name": self.name,
+                "value": self.value,
+                "attrs": self.attrs,
+            },
+            sort_keys=True,
+        )
+
+
+class _Span:
+    """Live span handle: measures wall time, collects late attributes."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        self._tracer._emit(TraceEvent("span", self.name, wall, self.attrs))
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span; enter/exit/set are all no-ops."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """What the instrumented drivers require from a tracer.
+
+    ``enabled`` lets call sites skip attribute computation that exists only
+    for tracing; :meth:`span` opens a timed interval (use as a context
+    manager); :meth:`counter` records a point value.
+    """
+
+    enabled: bool
+
+    def span(self, name: str, **attrs): ...
+
+    def counter(self, name: str, value: float, **attrs) -> None: ...
+
+    def event(self, type: str, name: str, value: float, **attrs) -> None: ...
+
+
+class NullTracer:
+    """The zero-overhead default: drops everything.
+
+    All instrumentation in :mod:`repro.core.driver` and
+    :mod:`repro.core.fastpath.engine` routes through a module-level
+    :data:`NULL_TRACER` when no tracer is supplied, so un-traced runs pay
+    one attribute check and a no-op call per round.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: float = 1.0, **attrs) -> None:
+        return None
+
+    def event(self, type: str, name: str, value: float = 0.0, **attrs) -> None:
+        return None
+
+
+#: Process-wide shared :class:`NullTracer` instance.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer) -> "Tracer":
+    """``tracer`` if given, else the shared :data:`NULL_TRACER`."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+class RecordingTracer:
+    """In-memory tracer: every event appended to :attr:`events` in order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def counter(self, name: str, value: float = 1.0, **attrs) -> None:
+        self._emit(TraceEvent("counter", name, float(value), attrs))
+
+    def event(self, type: str, name: str, value: float = 0.0, **attrs) -> None:
+        """Emit a pre-measured event (e.g. a span timed by the caller)."""
+        self._emit(TraceEvent(type, name, float(value), attrs))
+
+    # -- query helpers (used by tests and the profile tables) ---------------
+
+    def spans(self, name: str | None = None) -> list[TraceEvent]:
+        """All span events, optionally filtered by name, in order."""
+        return [
+            e for e in self.events if e.type == "span" and (name is None or e.name == name)
+        ]
+
+    def counters(self, name: str | None = None) -> list[TraceEvent]:
+        """All counter events, optionally filtered by name, in order."""
+        return [
+            e
+            for e in self.events
+            if e.type == "counter" and (name is None or e.name == name)
+        ]
+
+    def total(self, name: str, attr: str | None = None) -> float:
+        """Sum of ``value`` (or of attribute ``attr``) over events named ``name``."""
+        total = 0.0
+        for e in self.events:
+            if e.name != name:
+                continue
+            total += float(e.attrs.get(attr, 0.0)) if attr else e.value
+        return total
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+
+class JsonlTracer:
+    """Streams every event as one JSON line; safe to tail while running.
+
+    Accepts a path (opened and owned, closed by :meth:`close` or the
+    context-manager exit) or an already-open text file object (borrowed,
+    left open).  Lines round-trip through ``json.loads`` — see
+    :func:`read_jsonl_trace`.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: str | Path | IO[str]):
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(sink, "w", encoding="utf-8")
+            self._owns = True
+
+    def _emit(self, event: TraceEvent) -> None:
+        self._fh.write(event.to_json() + "\n")
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def counter(self, name: str, value: float = 1.0, **attrs) -> None:
+        self._emit(TraceEvent("counter", name, float(value), attrs))
+
+    def event(self, type: str, name: str, value: float = 0.0, **attrs) -> None:
+        """Emit a pre-measured event (e.g. a span timed by the caller)."""
+        self._emit(TraceEvent(type, name, float(value), attrs))
+
+    def close(self) -> None:
+        """Flush and close the sink (if this tracer opened it)."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl_trace(path: str | Path) -> Iterator[TraceEvent]:
+    """Parse a :class:`JsonlTracer` file back into :class:`TraceEvent` s."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            yield TraceEvent(
+                type=payload["type"],
+                name=payload["name"],
+                value=float(payload["value"]),
+                attrs=payload["attrs"],
+            )

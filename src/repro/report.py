@@ -5,6 +5,12 @@ pipeline needs (colors, per-round records, simulated timings); this module
 round-trips it through JSON so runs can be archived, diffed and compared
 across machines — every number is deterministic, so two archives of the same
 configuration must be byte-identical.
+
+Measured data is deliberately excluded: host wall-clock readings and
+:mod:`repro.obs` trace data (span durations, event streams) describe the
+machine the run happened on, not the algorithm, so the writer strips every
+field in :data:`MEASURED_FIELDS` recursively before serializing.  Archive a
+trace separately with :class:`repro.obs.JsonlTracer` if you need it.
 """
 
 from __future__ import annotations
@@ -16,9 +22,36 @@ import numpy as np
 
 from repro.types import ColoringResult, IterationRecord, PhaseTiming
 
-__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+__all__ = [
+    "MEASURED_FIELDS",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
 
 _FORMAT_VERSION = 1
+
+#: Field names that are *measurements of the host* rather than deterministic
+#: algorithm outputs: host wall-clock (``wall_seconds``, at both the result
+#: and the per-iteration level) and anything produced by the tracing layer
+#: (:mod:`repro.obs` span durations / trace payloads).  The archive writer
+#: strips every occurrence so that two archives of the same configuration
+#: are byte-identical regardless of how fast the host happened to run.
+MEASURED_FIELDS = frozenset({"wall_seconds", "trace", "events", "wall_ms"})
+
+
+def _strip_measured(payload):
+    """Recursively drop :data:`MEASURED_FIELDS` keys from a JSON payload."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_measured(value)
+            for key, value in payload.items()
+            if key not in MEASURED_FIELDS
+        }
+    if isinstance(payload, list):
+        return [_strip_measured(item) for item in payload]
+    return payload
 
 
 def _timing_to_dict(timing: PhaseTiming | None) -> dict | None:
@@ -46,9 +79,16 @@ def _timing_from_dict(payload: dict | None) -> PhaseTiming | None:
 def result_to_dict(result: ColoringResult) -> dict:
     """Plain-dict (JSON-safe) form of a coloring result.
 
-    ``wall_seconds`` is intentionally not archived (it is measured, not
-    deterministic); ``backend`` is recorded only for non-simulator runs so
-    existing simulator archives stay byte-identical.
+    Measured-time fields are intentionally not archived — neither the
+    run-level ``wall_seconds`` nor the per-iteration ``wall_seconds`` of
+    NumPy-backend rounds, nor any trace data from :mod:`repro.obs` (span
+    durations are host measurements, not deterministic outputs).  The
+    writer enforces this by stripping every :data:`MEASURED_FIELDS` key
+    from the payload, so archives of the same configuration stay
+    byte-identical across hosts and runs.  ``backend`` is recorded only
+    for non-simulator runs, and the deterministic ``colors_introduced``
+    counter only when known (``>= 0``), so archives written before those
+    fields existed remain loadable and unchanged.
     """
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -58,18 +98,24 @@ def result_to_dict(result: ColoringResult) -> dict:
         "cycles": result.cycles,
         "colors": [int(c) for c in result.colors],
         "iterations": [
-            {
-                "index": rec.index,
-                "queue_size": rec.queue_size,
-                "conflicts": rec.conflicts,
-                "color_timing": _timing_to_dict(rec.color_timing),
-                "remove_timing": _timing_to_dict(rec.remove_timing),
-            }
-            for rec in result.iterations
+            _iteration_to_dict(rec) for rec in result.iterations
         ],
     }
     if result.backend != "sim":
         payload["backend"] = result.backend
+    return _strip_measured(payload)
+
+
+def _iteration_to_dict(rec: IterationRecord) -> dict:
+    payload = {
+        "index": rec.index,
+        "queue_size": rec.queue_size,
+        "conflicts": rec.conflicts,
+        "color_timing": _timing_to_dict(rec.color_timing),
+        "remove_timing": _timing_to_dict(rec.remove_timing),
+    }
+    if rec.colors_introduced >= 0:
+        payload["colors_introduced"] = rec.colors_introduced
     return payload
 
 
@@ -92,6 +138,7 @@ def result_from_dict(payload: dict) -> ColoringResult:
             conflicts=int(rec["conflicts"]),
             color_timing=_timing_from_dict(rec["color_timing"]),
             remove_timing=_timing_from_dict(rec["remove_timing"]),
+            colors_introduced=int(rec.get("colors_introduced", -1)),
         )
         for rec in payload["iterations"]
     ]

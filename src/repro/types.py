@@ -83,6 +83,14 @@ class IterationRecord:
     color_timing / remove_timing:
         Simulated phase timings; ``remove_timing`` is ``None`` for the final
         sequential run that needs no verification.
+    colors_introduced:
+        Palette growth this round: by how much the high-water color count
+        rose over the round (deterministic; ``-1`` on records produced
+        before this counter existed, e.g. loaded from old archives).
+    wall_seconds:
+        Measured host wall-clock of the round (NumPy backend only; 0.0 for
+        simulator rounds, whose currency is cycles).  A measurement, not a
+        deterministic output — never archived (see :mod:`repro.report`).
     """
 
     index: int
@@ -90,6 +98,8 @@ class IterationRecord:
     conflicts: int
     color_timing: PhaseTiming | None
     remove_timing: PhaseTiming | None
+    colors_introduced: int = -1
+    wall_seconds: float = 0.0
 
     @property
     def cycles(self) -> float:

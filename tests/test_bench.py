@@ -67,10 +67,12 @@ class TestExperimentsTinyScale:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "ablations", "manycore",
+            "profile",
         }
 
     @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",
-                                      "figure3", "ablations", "manycore"])
+                                      "figure3", "ablations", "manycore",
+                                      "profile"])
     def test_runs_and_renders(self, name):
         experiment = ALL_EXPERIMENTS[name](scale="tiny", threads=8)
         assert experiment.rows

@@ -63,6 +63,41 @@ class TestCli:
         assert "4 simulated threads" in capsys.readouterr().out
 
 
+class TestCliObservability:
+    def test_profile_sim(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "per-iteration breakdown" in out
+        assert "backend sim" in out
+        assert "total" in out
+
+    def test_profile_numpy(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--backend", "numpy", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "backend numpy" in out
+        assert "wall ms" in out
+        assert "setup" in out
+
+    def test_trace_writes_jsonl(self, mtx_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([str(mtx_file), "--trace", str(trace)]) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        lines = trace.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+        assert json.loads(lines[-1])["name"] == "run"
+
+    def test_trace_with_sequential(self, mtx_file, tmp_path):
+        trace = tmp_path / "seq.jsonl"
+        code = main(
+            [str(mtx_file), "--algorithm", "sequential", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert trace.exists() and trace.read_text().strip()
+
+
 class TestCliErrors:
     def test_missing_file_graceful(self, capsys):
         assert main(["/nonexistent/never.mtx"]) == 2

@@ -1,9 +1,10 @@
 """Documentation integrity checks (run in CI alongside the tier-1 suite).
 
-Two invariants keep the docs from drifting:
+Three invariants keep the docs from drifting:
 
 * every relative link in ``README.md`` and ``docs/*.md`` resolves to a
   file or directory in the repository;
+* the README's documentation index links every page under ``docs/``;
 * every ``:func:``/``:class:``/``:data:``/``:mod:`` reference in a module
   docstring under ``src/repro`` names a symbol that actually resolves —
   either a dotted ``repro...`` path importable from the package root, or
@@ -52,6 +53,16 @@ def test_relative_links_resolve(doc):
         if not (doc.parent / path).exists():
             broken.append(target)
     assert not broken, f"{doc.relative_to(REPO_ROOT)}: broken links {broken}"
+
+
+def test_readme_indexes_every_docs_page():
+    """The README's documentation index must link every docs/*.md page."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    linked = {match.group(1).split("#", 1)[0] for match in _LINK_RE.finditer(readme)}
+    pages = sorted(p.name for p in (REPO_ROOT / "docs").glob("*.md"))
+    assert pages, "docs/ has no pages — the glob is broken"
+    missing = [page for page in pages if f"docs/{page}" not in linked]
+    assert not missing, f"README.md does not link docs pages: {missing}"
 
 
 def _module_name(path: Path) -> str:

@@ -8,6 +8,7 @@ import pytest
 from repro import color_bgpc, sequential_bgpc
 from repro.datasets import random_bipartite
 from repro.report import (
+    MEASURED_FIELDS,
     load_result,
     result_from_dict,
     result_to_dict,
@@ -72,6 +73,54 @@ class TestRoundTrip:
         payload["format_version"] = 99
         with pytest.raises(ValueError, match="format version"):
             result_from_dict(payload)
+
+
+def _all_keys(payload):
+    """Every dict key reachable anywhere in a JSON payload."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            yield key
+            yield from _all_keys(value)
+    elif isinstance(payload, list):
+        for item in payload:
+            yield from _all_keys(item)
+
+
+class TestMeasuredFieldStripping:
+    """Archives must carry no measured-time data, on any backend."""
+
+    @pytest.fixture(scope="class")
+    def fast_result(self):
+        bg = random_bipartite(30, 50, density=0.1, seed=61)
+        return color_bgpc(bg, backend="numpy", fastpath_mode="speculative")
+
+    def test_no_measured_fields_anywhere(self, fast_result):
+        payload = result_to_dict(fast_result)
+        assert MEASURED_FIELDS.isdisjoint(_all_keys(payload))
+
+    def test_numpy_archives_are_byte_identical(self, fast_result, tmp_path):
+        """Two runs have different wall clocks but identical archives."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_result(fast_result, a)
+        bg = random_bipartite(30, 50, density=0.1, seed=61)
+        rerun = color_bgpc(bg, backend="numpy", fastpath_mode="speculative")
+        assert rerun.wall_seconds != fast_result.wall_seconds
+        save_result(rerun, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_colors_introduced_round_trips(self, fast_result):
+        back = result_from_dict(result_to_dict(fast_result))
+        assert [r.colors_introduced for r in back.iterations] == [
+            r.colors_introduced for r in fast_result.iterations
+        ]
+        assert all(r.wall_seconds == 0.0 for r in back.iterations)
+
+    def test_legacy_payload_without_colors_introduced(self, run_result):
+        payload = result_to_dict(run_result)
+        for rec in payload["iterations"]:
+            rec.pop("colors_introduced", None)
+        back = result_from_dict(payload)
+        assert all(r.colors_introduced == -1 for r in back.iterations)
 
 
 class TestReportWithDistributedResults:

@@ -28,6 +28,13 @@ from repro.graph import (
     write_matrix_market,
 )
 from repro.core import (
+    PAPER_SCHEDULES,
+    AlgorithmSpec,
+    ScheduleSpec,
+    backend_names,
+    get_backend,
+    normalize_schedule_name,
+    register_backend,
     BGPC_ALGORITHMS,
     FASTPATH_MODES,
     fastpath_color_bgpc,
@@ -87,6 +94,13 @@ __all__ = [
     "write_matrix_market",
     "BGPC_ALGORITHMS",
     "D2GC_ALGORITHMS",
+    "PAPER_SCHEDULES",
+    "AlgorithmSpec",
+    "ScheduleSpec",
+    "normalize_schedule_name",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "B1Policy",
     "B2Policy",
     "FirstFit",

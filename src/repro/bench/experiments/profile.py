@@ -5,9 +5,9 @@ Figure 1 shows 78–89% of BGPC runtime concentrated in the first one or two
 iterations, which is what justifies the hybrid ``V-N1``/``N1-N2`` kernel
 schedules.  This experiment renders the :mod:`repro.obs` per-iteration
 breakdown for a vertex-based baseline and the paper's winner on the
-coPapers-like instance — on the simulator (cycles) and on the NumPy fast
-path (measured wall milliseconds) — so the iteration-dominance shape can be
-eyeballed in one table.
+coPapers-like instance — on the simulator (cycles), on the NumPy fast
+path, and on real threads (both in measured wall milliseconds) — so the
+iteration-dominance shape can be eyeballed in one table.
 """
 
 from __future__ import annotations
@@ -17,11 +17,13 @@ from repro.bench.tables import Experiment
 
 __all__ = ["run", "PROFILE_ALGS"]
 
-#: (algorithm, backend, fastpath mode) combinations profiled.
+#: (algorithm, backend, fastpath mode) combinations profiled.  Wall-clock
+#: backends (numpy, threaded) report measured milliseconds per round.
 PROFILE_ALGS = (
     ("V-V-64D", "sim", "exact"),
     ("N1-N2", "sim", "exact"),
     ("N1-N2", "numpy", "speculative"),
+    ("V-V-64D", "threaded", "exact"),
 )
 
 

@@ -2,8 +2,9 @@
 
 Several experiments need the same ``(dataset, algorithm, threads, order,
 policy)`` run — Table III, Table IV and Figure 2 all consume the Figure 2
-matrix — so results are memoized per process.  Everything is deterministic,
-so caching never changes results.
+matrix — so results are memoized per process.  The sim and numpy backends
+are deterministic, so caching never changes their results; threaded runs
+are pinned to their first outcome within a process.
 """
 
 from __future__ import annotations
@@ -148,9 +149,13 @@ def run_algorithm(
 ) -> ColoringResult:
     """One parallel coloring run (memoized).
 
-    ``backend="numpy"`` runs the vectorized fast path instead of the
-    simulator; its results carry wall seconds rather than cycles, so the
-    cycle-based experiment tables should keep the default ``"sim"``.
+    ``backend`` accepts any name from the execution-backend registry
+    (:func:`repro.core.backends.backend_names`): ``"numpy"`` runs the
+    vectorized fast path and ``"threaded"`` runs real Python threads;
+    both carry wall seconds rather than cycles, so the cycle-based
+    experiment tables should keep the default ``"sim"``.  Threaded runs
+    are nondeterministic across processes; memoization within a process
+    still returns one stable result per key.
     """
     key = (
         "par",

@@ -6,7 +6,12 @@ Usage::
     python -m repro input.mtx --problem d2gc --ordering smallest-last
     python -m repro input.mtx --policy B2 --output colors.txt
     python -m repro input.mtx --backend numpy --fastpath-mode speculative
+    python -m repro input.mtx --backend threaded --algo V-V-64D
     python -m repro input.mtx --profile --trace run.jsonl
+
+``--algo`` accepts any spec the schedule grammar admits (``V-N∞``,
+``n1-n2-b1``, …), not just the named table entries, and ``--backend``
+lists every registered execution backend.
 
 Prints a run summary (colors, rounds, conflicts, simulated cycles) and
 optionally writes the color of each vertex, one per line.  ``--profile``
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.backends import backend_names
 from repro.core.bgpc import BGPC_ALGORITHMS, color_bgpc, sequential_bgpc
 from repro.core.d2gc import color_d2gc, sequential_d2gc
 from repro.core.metrics import color_stats
@@ -47,20 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--algorithm",
+        "--algo",
         default="N1-N2",
-        choices=sorted(BGPC_ALGORITHMS) + ["sequential"],
-        help="algorithm variant (default: N1-N2)",
+        help="algorithm variant: a named schedule "
+        f"({', '.join(sorted(BGPC_ALGORITHMS))}), 'sequential', or any "
+        "spec in the paper's grammar such as V-N∞ or N1-N2-B1 "
+        "(default: N1-N2); see docs/algorithms.md",
     )
     parser.add_argument(
         "--threads", type=int, default=16, help="simulated cores (default 16)"
     )
     parser.add_argument(
         "--backend",
-        choices=("sim", "numpy"),
+        choices=backend_names(),
         default="sim",
         help="execution backend: the cycle-accurate simulator (sim, "
-        "default) or the vectorized wall-clock NumPy fast path (numpy); "
-        "see docs/backends.md",
+        "default), the vectorized wall-clock NumPy fast path (numpy), or "
+        "real Python threads (threaded); see docs/backends.md",
     )
     parser.add_argument(
         "--fastpath-mode",
@@ -182,21 +191,30 @@ def _run(args, bg, policy, tracer=None) -> int:
         sizes = f"{instance.num_vertices} vertices, {instance.num_edges} edges"
 
     stats = color_stats(result.colors)
+    # A balancing suffix in the schedule spec ("N1-N2-B1") resolves a policy
+    # inside the driver; reflect it instead of the --policy default.
+    policy_label = args.policy
+    if policy_label == "U" and result.algorithm.endswith(("-B1", "-B2")):
+        policy_label = result.algorithm.rsplit("-", 1)[1]
     print(f"instance : {args.matrix} ({sizes})")
     if result.backend == "numpy":
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"numpy backend ({args.fastpath_mode} mode), "
-              f"ordering {args.ordering}, policy {args.policy}")
+              f"ordering {args.ordering}, policy {policy_label}")
+    elif result.backend == "threaded":
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"{result.threads} real threads (threaded backend), "
+              f"ordering {args.ordering}, policy {policy_label}")
     else:
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"{result.threads} simulated threads, ordering {args.ordering}, "
-              f"policy {args.policy}")
+              f"policy {policy_label}")
     print(f"colors   : {result.num_colors} (lower bound {lower})")
     print(f"rounds   : {result.num_iterations}, conflicts {result.total_conflicts}")
-    if result.backend == "numpy":
-        print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
-    else:
+    if result.backend == "sim":
         print(f"cycles   : {result.cycles:.0f} (simulated)")
+    else:
+        print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
     if args.profile:

@@ -7,10 +7,27 @@ Public entry points:
 * :func:`repro.core.validate.validate_bgpc` / ``validate_d2gc``
 * :func:`repro.core.metrics.color_stats`
 * balancing policies in :mod:`repro.core.policies` (``B1Policy``, ``B2Policy``)
+* schedule specs in :mod:`repro.core.plan` (``ScheduleSpec``,
+  ``normalize_schedule_name``) — the paper's ``X-Y`` grammar, parsed
+* execution backends in :mod:`repro.core.backends`
+  (``register_backend``/``get_backend``; ``sim``, ``numpy``, ``threaded``)
 * the vectorized NumPy backend in :mod:`repro.core.fastpath`
   (``fastpath_color_bgpc``, ``fastpath_color_d2gc``, ``run_fastpath``)
 """
 
+from repro.core.backends import (
+    ExecutionBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.core.plan import (
+    PAPER_SCHEDULES,
+    AlgorithmSpec,
+    ScheduleSpec,
+    build_algorithm_table,
+    normalize_schedule_name,
+)
 from repro.core.bgpc import color_bgpc, sequential_bgpc, BGPC_ALGORITHMS
 from repro.core.d2gc import color_d2gc, sequential_d2gc, D2GC_ALGORITHMS
 from repro.core.validate import (
@@ -41,6 +58,15 @@ from repro.core.fastpath import (
 )
 
 __all__ = [
+    "AlgorithmSpec",
+    "ScheduleSpec",
+    "PAPER_SCHEDULES",
+    "build_algorithm_table",
+    "normalize_schedule_name",
+    "ExecutionBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "color_bgpc",
     "sequential_bgpc",
     "BGPC_ALGORITHMS",

@@ -1,0 +1,530 @@
+"""Execution backends: where a speculative coloring plan actually runs.
+
+The schedule layer (:mod:`repro.core.plan`) decides *what* each iteration
+does; this module decides *where* it executes.  An
+:class:`ExecutionBackend` takes a problem adapter plus a
+:class:`~repro.core.plan.ScheduleSpec` and returns a
+:class:`~repro.types.ColoringResult`; three are registered out of the box:
+
+``"sim"``
+    :class:`SimBackend` — the cycle-accurate discrete-event multicore of
+    :mod:`repro.machine`; the paper's reproduction vehicle (simulated
+    cycles, deterministic races).
+``"numpy"``
+    :class:`NumpyBackend` — the vectorized whole-array engine of
+    :mod:`repro.core.fastpath` (host wall-clock; first-fit only).
+``"threaded"``
+    :class:`ThreadedBackend` — the same per-task kernels on *real* Python
+    threads (:class:`repro.machine.threaded.ThreadedExecutor`), with
+    genuine GIL-interleaved races; wall-clock, nondeterministic colors,
+    guaranteed-valid results.
+
+``sim`` and ``threaded`` are *kernel-level* backends: both drive the same
+backend-agnostic loop (:func:`run_plan_loop`), which asks the plan for each
+iteration's :class:`~repro.core.plan.PhasePlan` pair and a
+:class:`PhaseEngine` to execute it.  ``numpy`` replaces the whole loop with
+array rounds.  Registering a new backend is one
+:func:`register_backend` call — the driver, runners, CLI and bench pick it
+up with zero edits (see ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.plan import PhasePlan, ScheduleSpec
+from repro.core.policies import FirstFit
+from repro.errors import ColoringError
+from repro.types import (
+    ColoringResult,
+    IterationRecord,
+    PhaseKind,
+    PhaseTiming,
+    UNCOLORED,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "PhaseEngine",
+    "SimBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "run_plan_loop",
+]
+
+
+@runtime_checkable
+class PhaseEngine(Protocol):
+    """Executes one phase's parallel for on some substrate.
+
+    ``clocked`` says whether the engine has a simulated clock: clocked
+    engines return a :class:`~repro.types.PhaseTiming` per phase and report
+    ``total_cycles``; unclocked engines return ``None`` timings and the
+    loop records measured wall seconds instead.
+    """
+
+    clocked: bool
+
+    @property
+    def values(self) -> np.ndarray:
+        """The committed shared color array (read-only for callers)."""
+        ...
+
+    def run_phase(
+        self,
+        plan: PhasePlan,
+        n_tasks: int,
+        kernel: Callable,
+        task_ids=None,
+        scan_items: int = 0,
+    ) -> tuple[PhaseTiming | None, list[int]]:
+        """Run ``kernel`` over ``n_tasks`` tasks under ``plan``.
+
+        ``scan_items`` charges an auxiliary vectorized sweep of that many
+        items to the phase (the "collect the uncolored vertices" pass after
+        a net-based removal); engines without a clock ignore it.
+        """
+        ...
+
+    def snapshot(self) -> np.ndarray: ...
+
+    @property
+    def total_cycles(self) -> float: ...
+
+
+class SimPhaseEngine:
+    """Kernel-level engine on the simulated multicore (``backend="sim"``)."""
+
+    clocked = True
+
+    def __init__(self, initial_colors: np.ndarray, threads: int, cost=None, tracer=None):
+        from repro.machine.machine import Machine
+
+        self.machine = Machine(threads, cost, tracer=tracer)
+        self.machine.reset_thread_states()
+        self.memory = self.machine.make_memory(initial_colors)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.memory.values
+
+    def run_phase(self, plan, n_tasks, kernel, task_ids=None, scan_items=0):
+        from repro.machine.scheduler import Schedule
+
+        extra = self.machine.parallel_scan_cost(scan_items) if scan_items else 0
+        return self.machine.parallel_for(
+            n_tasks,
+            kernel,
+            self.memory,
+            schedule=Schedule.dynamic(plan.chunk),
+            queue_mode=plan.queue_mode,
+            phase_kind=plan.phase,
+            task_ids=task_ids,
+            extra_wall=extra,
+        )
+
+    def snapshot(self) -> np.ndarray:
+        return self.memory.snapshot()
+
+    @property
+    def total_cycles(self) -> float:
+        return self.machine.trace.total_cycles
+
+
+class ThreadedPhaseEngine:
+    """Kernel-level engine on real Python threads (``backend="threaded"``).
+
+    Writes are immediate and unsynchronized, so races (and therefore
+    conflicts) are genuine GIL interleavings — nondeterministic across
+    runs, always resolved by the speculative loop.  Queue appends always
+    use thread-private lists merged at the phase barrier; the plan's
+    ``queue_mode`` is accepted but not distinguished.
+    """
+
+    clocked = False
+
+    def __init__(self, initial_colors: np.ndarray, threads: int, cost=None, tracer=None):
+        from repro.machine.threaded import ThreadedExecutor
+
+        self.executor = ThreadedExecutor(threads)
+        self.colors = np.array(initial_colors, dtype=np.int64, copy=True)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.colors
+
+    def run_phase(self, plan, n_tasks, kernel, task_ids=None, scan_items=0):
+        queued = self.executor.parallel_for(
+            n_tasks, kernel, self.colors, chunk=plan.chunk, task_ids=task_ids
+        )
+        return None, queued
+
+    def snapshot(self) -> np.ndarray:
+        return self.colors.copy()
+
+    @property
+    def total_cycles(self) -> float:
+        return 0.0
+
+
+def _set_phase_span(span, timing, n_tasks, conflicts=None) -> None:
+    attrs = (
+        {"items": timing.tasks, "cycles": timing.cycles}
+        if timing is not None
+        else {"items": n_tasks}
+    )
+    if conflicts is not None:
+        attrs["conflicts"] = conflicts
+    span.set(**attrs)
+
+
+def run_plan_loop(
+    engine: PhaseEngine,
+    adapter,
+    schedule: ScheduleSpec,
+    *,
+    name: str,
+    threads: int,
+    policy=None,
+    max_iterations: int = 200,
+    tracer=None,
+    backend_name: str = "sim",
+) -> ColoringResult:
+    """The backend-agnostic speculative loop (paper Algs. 1–3).
+
+    Asks ``schedule`` for each iteration's phase plans and ``engine`` to
+    execute them; everything schedule- or backend-specific lives behind
+    those two objects.  Shared by every kernel-level backend.
+    """
+    from repro.obs.tracer import ensure_tracer
+
+    tracer = ensure_tracer(tracer)
+    vertex_policy = policy if policy is not None else FirstFit()
+    net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
+
+    vertex_color = adapter.make_vertex_color_kernel(vertex_policy)
+    net_color = adapter.make_net_color_kernel(net_policy)
+    vertex_remove = adapter.make_vertex_removal_kernel()
+    net_remove = adapter.make_net_removal_kernel()
+
+    work = np.arange(adapter.n_targets, dtype=np.int64)
+    records: list[IterationRecord] = []
+    iteration = 0
+    palette = 0
+    run_start = time.perf_counter()
+
+    with tracer.span(
+        "run", algorithm=name, backend=backend_name, threads=threads
+    ) as run_span:
+        while work.size:
+            if iteration >= max_iterations:
+                raise ColoringError(
+                    f"{name} did not converge in {max_iterations} iterations "
+                    f"({work.size} vertices still queued)"
+                )
+            plan = schedule.iteration_plan(iteration)
+            with tracer.span(
+                "iteration", iteration=iteration, queue_size=int(work.size)
+            ) as iter_span:
+                iter_start = time.perf_counter()
+                # ---- coloring phase -----------------------------------------
+                with tracer.span(
+                    "phase",
+                    iteration=iteration,
+                    phase=PhaseKind.COLOR,
+                    kind=plan.color.kind,
+                ) as phase_span:
+                    if plan.color.kind == "net":
+                        color_timing, _ = engine.run_phase(
+                            plan.color, adapter.n_nets, net_color
+                        )
+                        color_tasks = adapter.n_nets
+                    else:
+                        color_timing, _ = engine.run_phase(
+                            plan.color, work.size, vertex_color, task_ids=work
+                        )
+                        color_tasks = int(work.size)
+                    _set_phase_span(phase_span, color_timing, color_tasks)
+                # ---- conflict-removal phase ---------------------------------
+                with tracer.span(
+                    "phase",
+                    iteration=iteration,
+                    phase=PhaseKind.REMOVE,
+                    kind=plan.remove.kind,
+                ) as phase_span:
+                    if plan.remove.kind == "net":
+                        remove_timing, _ = engine.run_phase(
+                            plan.remove,
+                            adapter.n_nets,
+                            net_remove,
+                            scan_items=adapter.n_targets,
+                        )
+                        remove_tasks = adapter.n_nets
+                        next_work = np.nonzero(engine.values == UNCOLORED)[0].astype(
+                            np.int64
+                        )
+                    else:
+                        remove_timing, queued = engine.run_phase(
+                            plan.remove, work.size, vertex_remove, task_ids=work
+                        )
+                        remove_tasks = int(work.size)
+                        next_work = np.asarray(queued, dtype=np.int64)
+                    _set_phase_span(
+                        phase_span,
+                        remove_timing,
+                        remove_tasks,
+                        conflicts=int(next_work.size),
+                    )
+
+                # Palette growth: the high-water color count is monotone (a
+                # net-based removal may reset colors, never retire them).
+                committed_max = int(engine.values.max()) if engine.values.size else -1
+                colors_introduced = max(0, committed_max + 1 - palette)
+                palette = max(palette, committed_max + 1)
+                iter_wall = time.perf_counter() - iter_start
+
+                records.append(
+                    IterationRecord(
+                        index=iteration,
+                        queue_size=int(work.size),
+                        conflicts=int(next_work.size),
+                        color_timing=color_timing,
+                        remove_timing=remove_timing,
+                        colors_introduced=colors_introduced,
+                        wall_seconds=0.0 if engine.clocked else iter_wall,
+                    )
+                )
+                if engine.clocked:
+                    iter_span.set(
+                        conflicts=int(next_work.size),
+                        colors_introduced=colors_introduced,
+                        cycles=color_timing.cycles + remove_timing.cycles,
+                    )
+                else:
+                    iter_span.set(
+                        conflicts=int(next_work.size),
+                        colors_introduced=colors_introduced,
+                        wall_seconds=iter_wall,
+                    )
+            work = next_work
+            iteration += 1
+
+        final = engine.snapshot()
+        run_span.set(
+            iterations=iteration,
+            cycles=engine.total_cycles,
+            num_colors=int(final.max()) + 1 if final.size else 0,
+        )
+    if final.size and final.min() < 0:
+        raise ColoringError(
+            f"{name} finished with {int((final < 0).sum())} uncolored vertices"
+        )
+    return ColoringResult(
+        colors=final,
+        num_colors=int(final.max()) + 1 if final.size else 0,
+        iterations=records,
+        algorithm=name,
+        threads=threads,
+        cycles=engine.total_cycles,
+        backend=backend_name,
+        wall_seconds=0.0 if engine.clocked else time.perf_counter() - run_start,
+    )
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What a backend must provide to the driver.
+
+    ``run`` executes the whole speculative loop of ``schedule`` on
+    ``adapter`` and returns a :class:`~repro.types.ColoringResult`.
+    Kernel-level backends additionally expose ``make_engine`` so other
+    harnesses (e.g. :func:`repro.dist.hybrid.hybrid_bgpc`) can run single
+    phases on the same substrate.
+    """
+
+    name: str
+
+    def run(
+        self,
+        adapter,
+        schedule: ScheduleSpec,
+        *,
+        name: str,
+        threads: int,
+        cost=None,
+        policy=None,
+        max_iterations: int = 200,
+        fastpath_mode: str = "exact",
+        tracer=None,
+    ) -> ColoringResult: ...
+
+
+class _KernelLoopBackend:
+    """Shared ``run`` for backends that execute per-task kernels."""
+
+    name = ""
+    engine_cls: type | None = None
+
+    def make_engine(
+        self, initial_colors: np.ndarray, threads: int, cost=None, tracer=None
+    ) -> PhaseEngine:
+        """A fresh :class:`PhaseEngine` over ``initial_colors``."""
+        return self.engine_cls(initial_colors, threads, cost, tracer)
+
+    def run(
+        self,
+        adapter,
+        schedule,
+        *,
+        name,
+        threads,
+        cost=None,
+        policy=None,
+        max_iterations=200,
+        fastpath_mode="exact",  # accepted for signature uniformity; unused
+        tracer=None,
+    ) -> ColoringResult:
+        from repro.obs.tracer import ensure_tracer
+
+        tracer = ensure_tracer(tracer)
+        colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+        engine = self.make_engine(colors, threads, cost, tracer)
+        return run_plan_loop(
+            engine,
+            adapter,
+            schedule,
+            name=name,
+            threads=threads,
+            policy=policy,
+            max_iterations=max_iterations,
+            tracer=tracer,
+            backend_name=self.name,
+        )
+
+
+class SimBackend(_KernelLoopBackend):
+    """Cycle-accurate simulated multicore (the paper's reproduction vehicle)."""
+
+    name = "sim"
+    engine_cls = SimPhaseEngine
+
+
+class ThreadedBackend(_KernelLoopBackend):
+    """Real Python threads with genuine GIL-interleaved races.
+
+    Colors are nondeterministic across runs (always valid on return);
+    ``cycles`` is 0 and per-phase timings are ``None`` — the currency is
+    measured ``wall_seconds``, like the NumPy backend.  Useful as a sanity
+    check that the speculative template converges under real races, and as
+    the only backend whose conflicts are not a model.
+    """
+
+    name = "threaded"
+    engine_cls = ThreadedPhaseEngine
+
+
+class NumpyBackend:
+    """Vectorized whole-array engine (:mod:`repro.core.fastpath`).
+
+    Ignores ``threads``, ``cost``, ``max_iterations`` and the schedule's
+    kernel plan (its round structure is the engine's own, bounded by a
+    provable ``n + 1``); honours ``fastpath_mode`` (``"exact"`` /
+    ``"speculative"``) and supports only the first-fit policy.
+    """
+
+    name = "numpy"
+
+    def run(
+        self,
+        adapter,
+        schedule,
+        *,
+        name,
+        threads,
+        cost=None,
+        policy=None,
+        max_iterations=200,
+        fastpath_mode="exact",
+        tracer=None,
+    ) -> ColoringResult:
+        from repro.core.fastpath.engine import run_fastpath
+        from repro.obs.tracer import ensure_tracer
+
+        if policy is not None and not isinstance(policy, FirstFit):
+            raise ColoringError(
+                "backend='numpy' supports only the first-fit policy (U); "
+                f"got {type(policy).__name__} — run B1/B2 on the simulator"
+            )
+        tracer = ensure_tracer(tracer)
+        groups = adapter.fastpath_groups()
+        t0 = time.perf_counter()
+        with tracer.span(
+            "run", algorithm=name, backend="numpy", mode=fastpath_mode
+        ) as run_span:
+            colors, records = run_fastpath(groups, mode=fastpath_mode, tracer=tracer)
+            run_span.set(
+                num_colors=int(colors.max()) + 1 if colors.size else 0,
+                iterations=len(records),
+            )
+        wall = time.perf_counter() - t0
+        return ColoringResult(
+            colors=colors,
+            num_colors=int(colors.max()) + 1 if colors.size else 0,
+            iterations=records,
+            algorithm=name,
+            threads=1,
+            cycles=0.0,
+            backend="numpy",
+            wall_seconds=wall,
+        )
+
+
+# -- the registry -------------------------------------------------------------
+
+_BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend, *, name: str | None = None,
+                     replace: bool = False) -> ExecutionBackend:
+    """Register ``backend`` under ``name`` (default: ``backend.name``).
+
+    One call makes the backend reachable from :func:`run_speculative
+    <repro.core.driver.run_speculative>`, ``color_bgpc``/``color_d2gc``,
+    the CLI's ``--backend`` and the bench harness — no driver edits.
+    Registering an existing name raises unless ``replace=True``.
+    """
+    key = name if name is not None else backend.name
+    if not key:
+        raise ColoringError("backend must have a non-empty name")
+    if key in _BACKENDS and not replace:
+        raise ColoringError(
+            f"backend {key!r} already registered; pass replace=True to override"
+        )
+    _BACKENDS[key] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a registered backend; unknown names list the valid ones."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ColoringError(
+            f"unknown backend {name!r}; choose from {backend_names()}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+register_backend(SimBackend())
+register_backend(NumpyBackend())
+register_backend(ThreadedBackend())

@@ -1,9 +1,11 @@
 """BGPC driver: the eight named algorithm variants of the paper (§VI).
 
 ``V-V``, ``V-V-64``, ``V-V-64D``, ``V-N∞``, ``V-N1``, ``V-N2``, ``N1-N2``
-and ``N2-N2`` are all instances of :class:`AlgorithmSpec` differing only in
-chunk size, queue construction, and the net-based horizons of the two
-phases.
+and ``N2-N2`` differ only in chunk size, queue construction, and the
+net-based horizons of the two phases, so :data:`BGPC_ALGORITHMS` is
+*derived* from the schedule grammar (:func:`repro.core.plan.build_algorithm_table`)
+rather than hand-written; any other spec the grammar admits (e.g.
+``"N1-Ninf-B2"``) is accepted by :func:`color_bgpc` as well.
 """
 
 from __future__ import annotations
@@ -18,50 +20,21 @@ from repro.core.bgpc.vertex import (
     make_vertex_color_kernel,
     make_vertex_removal_kernel,
 )
-from repro.core.driver import (
-    INF_ITERS,
-    AlgorithmSpec,
-    run_sequential,
-    run_speculative,
-)
+from repro.core.driver import run_sequential, run_speculative
+from repro.core.plan import AlgorithmSpec, build_algorithm_table, resolve_schedule
 from repro.graph.bipartite import BipartiteGraph
 from repro.machine.cost import CostModel
-from repro.machine.engine import QUEUE_ATOMIC, QUEUE_PRIVATE
 from repro.types import ColoringResult
 
 __all__ = ["BGPC_ALGORITHMS", "BGPCAdapter", "color_bgpc", "sequential_bgpc"]
 
 
-#: The paper's algorithm matrix (Section VI).  ``V-V`` is ColPack's default:
-#: chunk-1 dynamic scheduling and immediate shared-queue appends.
-BGPC_ALGORITHMS: dict[str, AlgorithmSpec] = {
-    "V-V": AlgorithmSpec("V-V", chunk=1, queue_mode=QUEUE_ATOMIC),
-    "V-V-64": AlgorithmSpec("V-V-64", chunk=64, queue_mode=QUEUE_ATOMIC),
-    "V-V-64D": AlgorithmSpec("V-V-64D", chunk=64, queue_mode=QUEUE_PRIVATE),
-    "V-Ninf": AlgorithmSpec(
-        "V-Ninf", chunk=64, queue_mode=QUEUE_PRIVATE, net_removal_iters=INF_ITERS
-    ),
-    "V-N1": AlgorithmSpec(
-        "V-N1", chunk=64, queue_mode=QUEUE_PRIVATE, net_removal_iters=1
-    ),
-    "V-N2": AlgorithmSpec(
-        "V-N2", chunk=64, queue_mode=QUEUE_PRIVATE, net_removal_iters=2
-    ),
-    "N1-N2": AlgorithmSpec(
-        "N1-N2",
-        chunk=64,
-        queue_mode=QUEUE_PRIVATE,
-        net_color_iters=1,
-        net_removal_iters=2,
-    ),
-    "N2-N2": AlgorithmSpec(
-        "N2-N2",
-        chunk=64,
-        queue_mode=QUEUE_PRIVATE,
-        net_color_iters=2,
-        net_removal_iters=2,
-    ),
-}
+#: The paper's algorithm matrix (Section VI), derived from the schedule
+#: parser — each entry equals the previously hand-written
+#: :class:`AlgorithmSpec` (golden-pinned in ``tests/test_plan.py``).
+#: ``V-V`` is ColPack's default: chunk-1 dynamic scheduling and immediate
+#: shared-queue appends.
+BGPC_ALGORITHMS: dict[str, AlgorithmSpec] = build_algorithm_table()
 
 
 class BGPCAdapter:
@@ -125,7 +98,10 @@ def color_bgpc(
     bg:
         The bipartite instance (columns = vertices, rows = nets).
     algorithm:
-        One of :data:`BGPC_ALGORITHMS` (``"V-V"`` … ``"N2-N2"``).
+        One of :data:`BGPC_ALGORITHMS` (``"V-V"`` … ``"N2-N2"``), any
+        alias or novel spec the schedule grammar admits (``"v-n∞"``,
+        ``"N1-N2-B1"`` — see :meth:`repro.core.plan.ScheduleSpec.parse`),
+        or an already-structured spec object.
     threads:
         Simulated core count (the paper sweeps 2, 4, 8, 16).
     cost:
@@ -140,9 +116,11 @@ def color_bgpc(
         :func:`repro.order.smallest_last_order`).  The returned colors are
         indexed by the *original* vertex ids.
     backend:
+        Any registered execution backend (see ``docs/backends.md``):
         ``"sim"`` (default) for the cycle-accurate simulated machine,
+        ``"threaded"`` for real Python threads with genuine races, or
         ``"numpy"`` for the vectorized wall-clock fast path
-        (:mod:`repro.core.fastpath`); see ``docs/backends.md``.
+        (:mod:`repro.core.fastpath`).
     fastpath_mode:
         NumPy-backend flavour: ``"exact"`` (byte-identical to the
         sequential reference) or ``"speculative"`` (fastest).  Ignored by
@@ -159,17 +137,13 @@ def color_bgpc(
         timing (``backend="sim"``) or measured wall seconds
         (``backend="numpy"``).
     """
-    if algorithm not in BGPC_ALGORITHMS:
-        raise KeyError(
-            f"unknown BGPC algorithm {algorithm!r}; choose from "
-            f"{sorted(BGPC_ALGORITHMS)}"
-        )
+    spec = resolve_schedule(algorithm, BGPC_ALGORITHMS, problem="BGPC")
     cost = cost if cost is not None else CostModel()
     work_graph, perm = _apply_order(bg, order)
     adapter = BGPCAdapter(work_graph, cost)
     result = run_speculative(
         adapter,
-        BGPC_ALGORITHMS[algorithm],
+        spec,
         threads=threads,
         cost=cost,
         policy=policy,

@@ -16,6 +16,7 @@ from repro.core.d2gc.vertex import (
     make_vertex_removal_kernel,
 )
 from repro.core.driver import run_sequential, run_speculative
+from repro.core.plan import resolve_schedule
 from repro.graph.unipartite import Graph
 from repro.machine.cost import CostModel
 from repro.types import ColoringResult
@@ -96,17 +97,13 @@ def color_d2gc(
     simulated machine and the vectorized NumPy fast path, and the
     ``tracer`` hook into :mod:`repro.obs`.
     """
-    if algorithm not in D2GC_ALGORITHMS:
-        raise KeyError(
-            f"unknown D2GC algorithm {algorithm!r}; choose from "
-            f"{sorted(D2GC_ALGORITHMS)}"
-        )
+    spec = resolve_schedule(algorithm, D2GC_ALGORITHMS, problem="D2GC")
     cost = cost if cost is not None else CostModel()
     work_graph, perm = _apply_order(g, order)
     adapter = D2GCAdapter(work_graph, cost)
     result = run_speculative(
         adapter,
-        D2GC_ALGORITHMS[algorithm],
+        spec,
         threads=threads,
         cost=cost,
         policy=policy,

@@ -269,10 +269,11 @@ def color_distk(
     (``V-N*``, ``N*-N*``) require even ``k``.
     """
     from repro.core.bgpc.runner import BGPC_ALGORITHMS
+    from repro.core.plan import ScheduleSpec, resolve_schedule
 
-    if algorithm not in BGPC_ALGORITHMS:
-        raise KeyError(f"unknown algorithm {algorithm!r}")
-    spec = BGPC_ALGORITHMS[algorithm]
+    spec = resolve_schedule(algorithm, BGPC_ALGORITHMS, problem="distance-k")
+    if isinstance(spec, ScheduleSpec):
+        spec = spec.to_algorithm_spec()
     cost = cost if cost is not None else CostModel()
     adapter = DistKAdapter(g, k, cost)
     if k % 2 == 1 and (spec.net_color_iters or spec.net_removal_iters):

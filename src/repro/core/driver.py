@@ -1,13 +1,16 @@
 """The speculative color → remove iteration driver (paper Algs. 1–3).
 
-One driver serves both problems: a :class:`ProblemAdapter` supplies the four
-phase kernels (vertex/net × color/remove) and the driver wires them into the
-iterate-until-conflict-free loop on a simulated :class:`Machine`, honouring
-an :class:`AlgorithmSpec` that says *which* kernel runs at *which* iteration
-— the paper's ``X-Y`` naming scheme (Section VI):
+One driver serves both problems and every backend: a
+:class:`ProblemAdapter` supplies the four phase kernels (vertex/net ×
+color/remove), a :class:`~repro.core.plan.ScheduleSpec` says *which*
+kernel runs at *which* iteration — the paper's ``X-Y`` naming scheme
+(Section VI) — and an :class:`~repro.core.backends.ExecutionBackend`
+from the registry says *where* the phases execute.  The loop itself
+lives in :func:`repro.core.backends.run_plan_loop`; this module is the
+user-facing dispatch plus the sequential baseline.
 
-* coloring is net-based for the first ``spec.net_color_iters`` iterations,
-  vertex-based afterwards;
+* coloring is net-based for the first ``spec.net_color_iters``
+  iterations, vertex-based afterwards;
 * conflict removal is net-based for the first ``spec.net_removal_iters``
   iterations, vertex-based afterwards;
 * vertex-based removal feeds the next work queue through either the shared
@@ -19,85 +22,32 @@ an :class:`AlgorithmSpec` that says *which* kernel runs at *which* iteration
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.core.policies import FirstFit
-from repro.errors import ColoringError
-from repro.machine.engine import QUEUE_ATOMIC, QUEUE_PRIVATE
+from repro.core.backends import backend_names, get_backend
+from repro.core.plan import INF_ITERS, AlgorithmSpec, ScheduleSpec
+from repro.core.policies import FirstFit, get_policy
 from repro.machine.machine import Machine
 from repro.machine.scheduler import Schedule
-from repro.types import (
-    ColoringResult,
-    IterationRecord,
-    PhaseKind,
-    UNCOLORED,
-)
+from repro.types import ColoringResult, IterationRecord, PhaseKind, UNCOLORED
 
 __all__ = [
     "AlgorithmSpec",
+    "ScheduleSpec",
     "BACKENDS",
+    "INF_ITERS",
     "ProblemAdapter",
     "run_speculative",
     "run_sequential",
 ]
 
-#: Effectively-infinite iteration horizon (the paper's ``∞`` suffix).
-INF_ITERS = 10**9
-
-#: Execution backends accepted by :func:`run_speculative`: the
-#: cycle-accurate simulated machine, or the vectorized NumPy fast path
-#: (:mod:`repro.core.fastpath`).  See ``docs/backends.md``.
-BACKENDS = ("sim", "numpy")
-
-
-@dataclass(frozen=True)
-class AlgorithmSpec:
-    """Configuration of one named algorithm variant.
-
-    Attributes
-    ----------
-    name:
-        Display name, e.g. ``"N1-N2"``.
-    chunk:
-        Dynamic-scheduling chunk size (1 for plain ``V-V``, 64 otherwise).
-    queue_mode:
-        ``"atomic"`` (immediate shared queue) or ``"private"`` (lazy
-        thread-private queues, the ``D`` variants) — only relevant for
-        vertex-based removal iterations.
-    net_color_iters:
-        Number of leading iterations that use net-based coloring (Alg. 8).
-    net_removal_iters:
-        Number of leading iterations that use net-based removal (Alg. 7);
-        ``INF_ITERS`` reproduces ``V-N∞``.
-    """
-
-    name: str
-    chunk: int = 64
-    queue_mode: str = QUEUE_PRIVATE
-    net_color_iters: int = 0
-    net_removal_iters: int = 0
-
-    def __post_init__(self) -> None:
-        if self.chunk < 1:
-            raise ColoringError(f"chunk must be >= 1, got {self.chunk}")
-        if self.queue_mode not in (QUEUE_ATOMIC, QUEUE_PRIVATE):
-            raise ColoringError(f"bad queue mode {self.queue_mode!r}")
-        if self.net_color_iters < 0 or self.net_removal_iters < 0:
-            raise ColoringError("iteration horizons must be non-negative")
-        # Net-based coloring finds its work by c[u] == UNCOLORED, so every
-        # net-coloring iteration after the first must follow a net-based
-        # removal (which resets losers to UNCOLORED).  Vertex-based removal
-        # only queues losers without resetting them, which would starve a
-        # subsequent net-coloring pass.
-        if self.net_color_iters > self.net_removal_iters + 1:
-            raise ColoringError(
-                f"{self.name}: net_color_iters ({self.net_color_iters}) may "
-                f"exceed net_removal_iters ({self.net_removal_iters}) by at "
-                "most 1 — net coloring must follow a net-based removal"
-            )
+#: Snapshot of the registered backend names at import time, kept for
+#: backward compatibility.  Prefer :func:`repro.core.backends.backend_names`
+#: (live) or :func:`repro.core.backends.get_backend`; see
+#: ``docs/backends.md``.
+BACKENDS = backend_names()
 
 
 class ProblemAdapter(Protocol):
@@ -125,51 +75,9 @@ class ProblemAdapter(Protocol):
         ...
 
 
-def _run_fastpath_backend(
-    adapter: ProblemAdapter,
-    spec: AlgorithmSpec,
-    policy,
-    fastpath_mode: str,
-    tracer=None,
-) -> ColoringResult:
-    """Dispatch target for ``backend="numpy"``: one vectorized run."""
-    import time
-
-    from repro.core.fastpath.engine import run_fastpath
-    from repro.obs.tracer import ensure_tracer
-
-    if policy is not None and not isinstance(policy, FirstFit):
-        raise ColoringError(
-            "backend='numpy' supports only the first-fit policy (U); "
-            f"got {type(policy).__name__} — run B1/B2 on the simulator"
-        )
-    tracer = ensure_tracer(tracer)
-    groups = adapter.fastpath_groups()
-    t0 = time.perf_counter()
-    with tracer.span(
-        "run", algorithm=spec.name, backend="numpy", mode=fastpath_mode
-    ) as run_span:
-        colors, records = run_fastpath(groups, mode=fastpath_mode, tracer=tracer)
-        run_span.set(
-            num_colors=int(colors.max()) + 1 if colors.size else 0,
-            iterations=len(records),
-        )
-    wall = time.perf_counter() - t0
-    return ColoringResult(
-        colors=colors,
-        num_colors=int(colors.max()) + 1 if colors.size else 0,
-        iterations=records,
-        algorithm=spec.name,
-        threads=1,
-        cycles=0.0,
-        backend="numpy",
-        wall_seconds=wall,
-    )
-
-
 def run_speculative(
     adapter: ProblemAdapter,
-    spec: AlgorithmSpec,
+    spec: "str | ScheduleSpec | AlgorithmSpec",
     threads: int,
     cost=None,
     policy=None,
@@ -178,180 +86,62 @@ def run_speculative(
     fastpath_mode: str = "exact",
     tracer=None,
 ) -> ColoringResult:
-    """Run the full speculative loop of ``spec`` on a ``threads``-core machine.
+    """Run the full speculative loop of ``spec`` on the chosen backend.
+
+    ``spec`` may be a schedule name in the paper's grammar (``"N1-N2"``,
+    ``"v-n∞"``, ``"N1-Ninf-B2"`` — see :meth:`ScheduleSpec.parse
+    <repro.core.plan.ScheduleSpec.parse>`), a structured
+    :class:`~repro.core.plan.ScheduleSpec`, or a legacy
+    :class:`~repro.core.plan.AlgorithmSpec` (still supported; its display
+    name is preserved).
 
     ``policy`` selects the color-choice heuristic for vertex-based coloring
     and, when it is B1/B2, also replaces the reverse-first-fit cursor inside
     net-based coloring (the paper's "net-based variants are also similar").
-    ``None`` or :class:`FirstFit` keeps the paper's default behaviour.
+    ``None`` keeps the paper's default behaviour — unless the schedule
+    itself carries a balancing suffix (``"N1-N2-B1"``), which resolves the
+    matching policy automatically.  An explicit ``policy`` argument wins.
 
-    ``backend`` selects the execution vehicle (see ``docs/backends.md``):
-    ``"sim"`` (default) runs ``spec``'s kernels task-by-task on the
-    cycle-accurate :class:`Machine`; ``"numpy"`` runs the same speculative
+    ``backend`` names any registered :class:`~repro.core.backends.ExecutionBackend`
+    (see ``docs/backends.md``): ``"sim"`` (default) runs the kernels
+    task-by-task on the cycle-accurate :class:`Machine`; ``"threaded"``
+    runs the same kernels on real Python threads (wall-clock,
+    nondeterministic but always valid); ``"numpy"`` runs the speculative
     template as whole-array passes in :mod:`repro.core.fastpath`, ignoring
-    ``threads``, ``cost``, ``max_iterations`` and ``spec``'s kernel
-    schedule (it is bounded by a provable ``n + 1`` rounds instead) and
-    honouring ``fastpath_mode`` — ``"exact"`` for byte-identical
-    sequential-greedy colors, ``"speculative"`` for the fastest few-round
-    variant.
+    ``threads``, ``cost``, ``max_iterations`` and the kernel schedule (it
+    is bounded by a provable ``n + 1`` rounds instead) and honouring
+    ``fastpath_mode`` — ``"exact"`` for byte-identical sequential-greedy
+    colors, ``"speculative"`` for the fastest few-round variant.
 
     ``tracer`` hooks the run into the observability layer
     (:mod:`repro.obs`): per-iteration and per-phase spans with queue sizes,
     conflicts, palette growth and cycle counts.  ``None`` (default) routes
     through the zero-overhead :class:`repro.obs.NullTracer`.
 
-    Raises :class:`ColoringError` if the loop fails to converge within
-    ``max_iterations`` rounds (cannot happen for the paper's specs on finite
-    graphs, but guards pathological custom kernels).
+    Raises :class:`ColoringError` for unknown backends or schedules (the
+    message lists the valid names), and if the loop fails to converge
+    within ``max_iterations`` rounds (cannot happen for the paper's specs
+    on finite graphs, but guards pathological custom kernels).
     """
-    from repro.obs.tracer import ensure_tracer
-
-    if backend not in BACKENDS:
-        raise ColoringError(
-            f"unknown backend {backend!r}; choose from {BACKENDS}"
-        )
-    if backend == "numpy":
-        return _run_fastpath_backend(
-            adapter, spec, policy, fastpath_mode, tracer=tracer
-        )
-    tracer = ensure_tracer(tracer)
-    machine = Machine(threads, cost, tracer=tracer)
-    machine.reset_thread_states()
-    colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
-    memory = machine.make_memory(colors)
-    schedule = Schedule.dynamic(spec.chunk)
-
-    vertex_policy = policy if policy is not None else FirstFit()
-    net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
-
-    vertex_color = adapter.make_vertex_color_kernel(vertex_policy)
-    net_color = adapter.make_net_color_kernel(net_policy)
-    vertex_remove = adapter.make_vertex_removal_kernel()
-    net_remove = adapter.make_net_removal_kernel()
-
-    work = np.arange(adapter.n_targets, dtype=np.int64)
-    records: list[IterationRecord] = []
-    iteration = 0
-    palette = 0
-
-    with tracer.span(
-        "run", algorithm=spec.name, backend="sim", threads=threads
-    ) as run_span:
-        while work.size:
-            if iteration >= max_iterations:
-                raise ColoringError(
-                    f"{spec.name} did not converge in {max_iterations} iterations "
-                    f"({work.size} vertices still queued)"
-                )
-            with tracer.span(
-                "iteration", iteration=iteration, queue_size=int(work.size)
-            ) as iter_span:
-                # ---- coloring phase -----------------------------------------
-                color_kind = "net" if iteration < spec.net_color_iters else "vertex"
-                with tracer.span(
-                    "phase",
-                    iteration=iteration,
-                    phase=PhaseKind.COLOR,
-                    kind=color_kind,
-                ) as phase_span:
-                    if color_kind == "net":
-                        color_timing, _ = machine.parallel_for(
-                            adapter.n_nets,
-                            net_color,
-                            memory,
-                            schedule=schedule,
-                            phase_kind=PhaseKind.COLOR,
-                        )
-                    else:
-                        color_timing, _ = machine.parallel_for(
-                            work.size,
-                            vertex_color,
-                            memory,
-                            schedule=schedule,
-                            phase_kind=PhaseKind.COLOR,
-                            task_ids=work,
-                        )
-                    phase_span.set(
-                        items=color_timing.tasks, cycles=color_timing.cycles
-                    )
-                # ---- conflict-removal phase ---------------------------------
-                remove_kind = "net" if iteration < spec.net_removal_iters else "vertex"
-                with tracer.span(
-                    "phase",
-                    iteration=iteration,
-                    phase=PhaseKind.REMOVE,
-                    kind=remove_kind,
-                ) as phase_span:
-                    if remove_kind == "net":
-                        remove_timing, _ = machine.parallel_for(
-                            adapter.n_nets,
-                            net_remove,
-                            memory,
-                            schedule=schedule,
-                            phase_kind=PhaseKind.REMOVE,
-                            extra_wall=machine.parallel_scan_cost(adapter.n_targets),
-                        )
-                        next_work = np.nonzero(memory.values == UNCOLORED)[0].astype(
-                            np.int64
-                        )
-                    else:
-                        remove_timing, queued = machine.parallel_for(
-                            work.size,
-                            vertex_remove,
-                            memory,
-                            schedule=schedule,
-                            queue_mode=spec.queue_mode,
-                            phase_kind=PhaseKind.REMOVE,
-                            task_ids=work,
-                        )
-                        next_work = np.asarray(queued, dtype=np.int64)
-                    phase_span.set(
-                        items=remove_timing.tasks,
-                        cycles=remove_timing.cycles,
-                        conflicts=int(next_work.size),
-                    )
-
-                # Palette growth: the high-water color count is monotone (a
-                # net-based removal may reset colors, never retire them).
-                committed_max = int(memory.values.max()) if memory.values.size else -1
-                colors_introduced = max(0, committed_max + 1 - palette)
-                palette = max(palette, committed_max + 1)
-
-                records.append(
-                    IterationRecord(
-                        index=iteration,
-                        queue_size=int(work.size),
-                        conflicts=int(next_work.size),
-                        color_timing=color_timing,
-                        remove_timing=remove_timing,
-                        colors_introduced=colors_introduced,
-                    )
-                )
-                iter_span.set(
-                    conflicts=int(next_work.size),
-                    colors_introduced=colors_introduced,
-                    cycles=color_timing.cycles + remove_timing.cycles,
-                )
-            work = next_work
-            iteration += 1
-
-        final = memory.snapshot()
-        run_span.set(
-            iterations=iteration,
-            cycles=machine.trace.total_cycles,
-            num_colors=int(final.max()) + 1 if final.size else 0,
-        )
-    if final.size and final.min() < 0:
-        raise ColoringError(
-            f"{spec.name} finished with {int((final < 0).sum())} uncolored vertices"
-        )
-    return ColoringResult(
-        colors=final,
-        num_colors=int(final.max()) + 1 if final.size else 0,
-        iterations=records,
-        algorithm=spec.name,
+    engine_backend = get_backend(backend)
+    schedule = ScheduleSpec.parse(spec)
+    name = (
+        spec.name
+        if isinstance(spec, (AlgorithmSpec, ScheduleSpec))
+        else schedule.name
+    )
+    if policy is None and schedule.balancing != "U":
+        policy = get_policy(schedule.balancing)
+    return engine_backend.run(
+        adapter,
+        schedule,
+        name=name,
         threads=threads,
-        cycles=machine.trace.total_cycles,
+        cost=cost,
+        policy=policy,
+        max_iterations=max_iterations,
+        fastpath_mode=fastpath_mode,
+        tracer=tracer,
     )
 
 

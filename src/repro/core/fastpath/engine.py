@@ -37,6 +37,11 @@ palette growth (``colors_introduced``) and measured per-round
 ``wall_seconds``, with ``None`` phase timings; pass a
 :class:`repro.obs.Tracer` to stream the same numbers as structured
 ``setup``/``round`` events (see ``docs/observability.md``).
+
+This engine is wrapped by :class:`repro.core.backends.NumpyBackend` and
+registered as ``"numpy"`` in the execution-backend registry, which is how
+``run_speculative``/``color_bgpc``/``color_d2gc`` and the CLI reach it
+(see ``docs/backends.md``).
 """
 
 from __future__ import annotations

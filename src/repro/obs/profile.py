@@ -9,9 +9,10 @@ the bench harness's ``profile`` experiment both render these rows.
 
 The per-iteration totals are guaranteed to sum to the end-to-end figure of
 the run: simulated ``cycles`` for ``backend="sim"`` (phase timings include
-every barrier and auxiliary sweep), measured ``wall_seconds`` for
-``backend="numpy"`` (a trailing *setup/overhead* row carries the layout
-build and everything else outside the rounds).
+every barrier and auxiliary sweep), measured ``wall_seconds`` for every
+wall-clock backend — ``numpy`` and ``threaded`` — with a trailing
+*setup/overhead* row carrying everything outside the rounds (layout
+build, kernel construction, thread pool spin-up).
 """
 
 from __future__ import annotations
@@ -29,12 +30,13 @@ def iteration_breakdown(result: ColoringResult) -> tuple[list[str], list[tuple]]
     """``(header, rows)`` of the per-iteration breakdown of ``result``.
 
     Simulator runs (``backend="sim"``) report simulated cycles per phase;
-    NumPy runs report measured wall milliseconds per round.  The final
-    ``total`` row sums exactly to ``result.cycles`` / ``result.wall_seconds``
-    respectively; NumPy runs additionally get a ``setup`` row for the time
-    spent outside the rounds (group-layout build, permutations).
+    wall-clock backends (``numpy``, ``threaded``) report measured wall
+    milliseconds per round.  The final ``total`` row sums exactly to
+    ``result.cycles`` / ``result.wall_seconds`` respectively; wall-clock
+    runs additionally get a ``setup`` row for the time spent outside the
+    rounds (group-layout build, permutations, pool spin-up).
     """
-    if result.backend == "numpy":
+    if result.backend != "sim":
         header = ["iter", "|W|", "conflicts", "colors+", "wall ms", "share"]
         rows: list[tuple] = []
         rounds_wall = 0.0
@@ -124,7 +126,7 @@ def profile_table(result: ColoringResult) -> str:
     from repro.bench.tables import render_table
 
     header, rows = iteration_breakdown(result)
-    unit = "wall ms (measured)" if result.backend == "numpy" else "simulated cycles"
+    unit = "simulated cycles" if result.backend == "sim" else "wall ms (measured)"
     title = (
         f"per-iteration breakdown — {result.algorithm}, backend "
         f"{result.backend}, {unit}"

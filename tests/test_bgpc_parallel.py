@@ -44,7 +44,9 @@ class TestValidity:
         assert result.num_colors == 1  # everything can share color 0
 
     def test_unknown_algorithm(self, tiny_bipartite):
-        with pytest.raises(KeyError, match="unknown BGPC algorithm"):
+        from repro.errors import ColoringError
+
+        with pytest.raises(ColoringError, match="unknown BGPC algorithm"):
             color_bgpc(tiny_bipartite, algorithm="X-Y")
 
 

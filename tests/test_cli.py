@@ -54,13 +54,34 @@ class TestCli:
         assert len(lines) == 30
         assert all(int(line) >= 0 for line in lines)
 
-    def test_unknown_algorithm_rejected(self, mtx_file):
-        with pytest.raises(SystemExit):
-            main([str(mtx_file), "--algorithm", "bogus"])
+    def test_unknown_algorithm_rejected(self, mtx_file, capsys):
+        # Free-form --algo strings go through the schedule parser; a bad
+        # name is a graceful error listing the valid schedules, not a
+        # bare KeyError or argparse SystemExit.
+        assert main([str(mtx_file), "--algorithm", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown BGPC algorithm 'bogus'" in err
+        assert "V-V" in err
+
+    def test_algorithm_alias_accepted(self, mtx_file, capsys):
+        # Aliases normalize through the grammar: '--algo v-n∞' is V-Ninf.
+        assert main([str(mtx_file), "--algo", "v-n∞"]) == 0
+        assert "V-Ninf" in capsys.readouterr().out
 
     def test_threads_flag(self, mtx_file, capsys):
         assert main([str(mtx_file), "--threads", "4"]) == 0
         assert "4 simulated threads" in capsys.readouterr().out
+
+    def test_threaded_backend(self, mtx_file, capsys):
+        # End-to-end on real threads: validated coloring, wall-clock line.
+        code = main(
+            [str(mtx_file), "--backend", "threaded", "--threads", "4",
+             "--algorithm", "V-V-64D"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 real threads (threaded backend)" in out
+        assert "wall" in out
 
 
 class TestCliObservability:

@@ -72,7 +72,9 @@ class TestParallel:
         assert a.cycles == b.cycles
 
     def test_unknown_algorithm(self, path_graph):
-        with pytest.raises(KeyError):
+        from repro.errors import ColoringError
+
+        with pytest.raises(ColoringError, match="unknown D2GC algorithm"):
             color_d2gc(path_graph, algorithm="nope")
 
     def test_ordering_roundtrip(self, small_graph):

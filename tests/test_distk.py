@@ -87,7 +87,7 @@ class TestColoring:
             sequential_distk(cycle10, 0)
 
     def test_unknown_algorithm(self, cycle10):
-        with pytest.raises(KeyError):
+        with pytest.raises(ColoringError, match="unknown distance-k algorithm"):
             color_distk(cycle10, 2, algorithm="Z")
 
     def test_larger_k_needs_more_colors(self):

@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     ablations,
     manycore,
     profile,
+    scaling,
 )
 
 ALL_EXPERIMENTS = {
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "ablations": ablations.run,
     "manycore": manycore.run,
     "profile": profile.run,
+    "scaling": scaling.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -7,6 +7,7 @@ Usage::
     python -m repro input.mtx --policy B2 --output colors.txt
     python -m repro input.mtx --backend numpy --fastpath-mode speculative
     python -m repro input.mtx --backend threaded --algo V-V-64D
+    python -m repro input.mtx --backend process --threads 4
     python -m repro input.mtx --profile --trace run.jsonl
 
 ``--algo`` accepts any spec the schedule grammar admits (``V-N∞``,
@@ -61,15 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: N1-N2); see docs/algorithms.md",
     )
     parser.add_argument(
-        "--threads", type=int, default=16, help="simulated cores (default 16)"
+        "--threads",
+        type=int,
+        default=16,
+        help="simulated cores for --backend sim, real threads for "
+        "threaded, worker processes for process (default 16)",
     )
     parser.add_argument(
         "--backend",
         choices=backend_names(),
         default="sim",
         help="execution backend: the cycle-accurate simulator (sim, "
-        "default), the vectorized wall-clock NumPy fast path (numpy), or "
-        "real Python threads (threaded); see docs/backends.md",
+        "default), the vectorized wall-clock NumPy fast path (numpy), "
+        "real Python threads (threaded), or a shared-memory worker-process "
+        "pool (process); see docs/backends.md",
     )
     parser.add_argument(
         "--fastpath-mode",
@@ -118,7 +124,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         bg = read_matrix_market(args.matrix)
-    except (OSError, ReproError) as exc:
+    except (OSError, UnicodeDecodeError, ReproError) as exc:
         print(f"error: cannot read {args.matrix}: {exc}", file=sys.stderr)
         return 2
     policy = None if args.policy == "U" else get_policy(args.policy)
@@ -128,9 +134,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace:
             from repro.obs import JsonlTracer
 
-            tracer = JsonlTracer(args.trace)
+            try:
+                tracer = JsonlTracer(args.trace)
+            except OSError as exc:
+                print(f"error: cannot write trace {args.trace}: {exc}",
+                      file=sys.stderr)
+                return 2
         return _run(args, bg, policy, tracer)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. an unwritable --output path; one line, exit 2, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -205,6 +220,10 @@ def _run(args, bg, policy, tracer=None) -> int:
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"{result.threads} real threads (threaded backend), "
               f"ordering {args.ordering}, policy {policy_label}")
+    elif result.backend == "process":
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"{result.threads} worker processes (process backend, shared "
+              f"memory), ordering {args.ordering}, policy {policy_label}")
     else:
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"{result.threads} simulated threads, ordering {args.ordering}, "

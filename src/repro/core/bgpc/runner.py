@@ -62,6 +62,31 @@ class BGPCAdapter:
         """Constraint groups for the NumPy backend: the nets themselves."""
         return self.bg.net_to_vtxs
 
+    def process_spec(self):
+        """Shared-memory layout for the process backend.
+
+        The four CSR arrays — plus the flattened two-hop cache when it
+        exists — are copied into shared segments once per run; workers
+        rebuild a zero-copy :class:`BipartiteGraph` over them and seed
+        their two-hop memo from the shared arrays instead of re-flattening
+        the whole structure per worker (see :mod:`repro.core.procworker`).
+        """
+        from repro.graph.twohop import bgpc_twohop
+
+        arrays = {
+            "vptr": self.bg.vtx_to_nets.ptr,
+            "vidx": self.bg.vtx_to_nets.idx,
+            "nptr": self.bg.net_to_vtxs.ptr,
+            "nidx": self.bg.net_to_vtxs.idx,
+        }
+        two = bgpc_twohop(self.bg)
+        if two is not None:
+            arrays["two_ptr"] = two.ptr
+            arrays["two_idx"] = two.idx
+            arrays["two_sptr"] = two.seg_ptr
+            arrays["two_send"] = two.seg_end
+        return {"problem": "bgpc", "arrays": arrays, "cost": self.cost}
+
 
 def _apply_order(bg: BipartiteGraph, order: np.ndarray | None):
     if order is None:

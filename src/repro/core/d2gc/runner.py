@@ -61,6 +61,30 @@ class D2GCAdapter:
 
         return d2gc_groups_csr(self.g)
 
+    def process_spec(self):
+        """Shared-memory layout for the process backend.
+
+        The adjacency CSR — plus the flattened two-hop cache when it
+        exists — is copied into shared segments once per run; workers
+        rebuild a zero-copy :class:`Graph` over them (symmetry is known
+        good by construction, so the re-check is skipped) and seed their
+        two-hop memo from the shared arrays (see
+        :mod:`repro.core.procworker`).
+        """
+        from repro.graph.twohop import d2gc_twohop
+
+        arrays = {
+            "aptr": self.g.adj.ptr,
+            "aidx": self.g.adj.idx,
+        }
+        two = d2gc_twohop(self.g)
+        if two is not None:
+            arrays["two_ptr"] = two.ptr
+            arrays["two_idx"] = two.idx
+            arrays["two_sptr"] = two.seg_ptr
+            arrays["two_send"] = two.seg_end
+        return {"problem": "d2gc", "arrays": arrays, "cost": self.cost}
+
 
 def _apply_order(g: Graph, order: np.ndarray | None):
     if order is None:

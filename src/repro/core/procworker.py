@@ -1,0 +1,325 @@
+"""Worker-process side of the ``process`` execution backend.
+
+The :class:`~repro.core.backends.ProcessBackend` runs the speculative
+color → detect → repeat loop on a persistent pool of *worker processes*
+(no GIL), with the color array, the next-iteration work queue and the CSR
+graph arrays placed in ``multiprocessing.shared_memory`` segments.
+Workers mutate the **same** physical color palette optimistically, so
+conflicts are genuine cross-process races resolved — as always — by the
+speculative template's conflict-removal rounds.
+
+This module is everything that executes *inside* a worker:
+
+* :func:`create_segment` / :func:`attach_segment` — the shared-memory
+  array plumbing.  Segments carry a recognizable ``repro_shm_`` name
+  prefix so tests and CI can scan ``/dev/shm`` for leaks.
+* :func:`init_worker` — the pool initializer: attaches every segment,
+  rebuilds the problem graph as zero-copy views over shared memory, and
+  caches the four phase kernels.  Runs once per worker; its cost (CSR
+  validation, two-hop cache) is amortized over the whole run by the
+  persistent pool.
+* :func:`run_chunk` — executes one dynamic chunk of tasks (the paper's
+  chunk-size-64 dispatch unit), applying color writes straight into the
+  shared segment and returning queue appends plus per-worker counters.
+* Fault injection (:func:`parse_fault`) — a worker can be told to
+  ``SIGKILL`` itself after N chunks, which is how the leak tests and the
+  CI smoke step simulate a mid-iteration worker crash.
+
+Segment lifetime is owned entirely by the parent engine: workers only
+attach (their re-registration lands in the same resource-tracker set the
+parent already populated, so it is a harmless duplicate) and the parent
+closes + unlinks every segment exactly once, on every exit path — clean
+return, convergence failure, or a worker killed mid-phase.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import uuid
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.machine.engine import TaskContext
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SegmentSpec",
+    "attach_segment",
+    "create_segment",
+    "init_worker",
+    "parse_fault",
+    "run_batch",
+    "run_chunk",
+    "warmup",
+]
+
+#: Name prefix of every shared-memory segment this backend creates;
+#: ``/dev/shm`` entries with this prefix after a run are leaks.
+SEGMENT_PREFIX = "repro_shm_"
+
+
+class SegmentSpec(tuple):
+    """Picklable handle for one shared array: ``(name, shape, dtype_str)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, name: str, shape: tuple, dtype: str):
+        return super().__new__(cls, (name, tuple(shape), dtype))
+
+    @property
+    def name(self) -> str:
+        return self[0]
+
+    @property
+    def shape(self) -> tuple:
+        return self[1]
+
+    @property
+    def dtype(self) -> str:
+        return self[2]
+
+
+def create_segment(array: np.ndarray):
+    """Copy ``array`` into a fresh named segment owned by the caller.
+
+    Returns ``(shm, view, spec)``: the :class:`SharedMemory` handle (close
+    *and* unlink it when done), a writable ndarray view over the segment,
+    and the picklable :class:`SegmentSpec` workers attach with.
+    """
+    array = np.ascontiguousarray(array)
+    name = SEGMENT_PREFIX + uuid.uuid4().hex[:16]
+    shm = shared_memory.SharedMemory(create=True, name=name, size=max(array.nbytes, 1))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return shm, view, SegmentSpec(name, array.shape, array.dtype.str)
+
+
+def attach_segment(spec: SegmentSpec):
+    """Attach an existing segment; returns ``(shm, view)``.
+
+    Pool workers share the parent's resource-tracker process (its cache is
+    a set), so the attach-time re-registration is a harmless duplicate and
+    the parent's single ``unlink`` unregisters the name exactly once — no
+    worker-side unregister, which would race the parent's (Python < 3.13
+    has no ``track=False`` to skip registration altogether).
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, view
+
+
+def parse_fault(text: str | None) -> dict | None:
+    """Parse a fault-injection directive (``REPRO_PROCESS_FAULT``).
+
+    ``"kill:N"`` makes each worker ``SIGKILL`` itself after processing
+    ``N`` chunks (``"kill"`` alone means ``N = 1``).  Returns ``None`` for
+    empty/absent directives; raises ``ValueError`` on malformed ones.
+    """
+    if not text:
+        return None
+    head, _, tail = text.partition(":")
+    if head != "kill":
+        raise ValueError(f"unknown process fault directive {text!r}")
+    after = int(tail) if tail else 1
+    if after < 1:
+        raise ValueError(f"fault chunk count must be >= 1, got {after}")
+    return {"kind": "kill", "after_chunks": after}
+
+
+class _WorkerState:
+    """Per-worker-process state: shared views, rebuilt graph, kernel cache."""
+
+    def __init__(self, spec: dict):
+        self.segments = []  # keep SharedMemory handles alive for the worker
+        arrays = {}
+        for key, seg in spec["segments"].items():
+            shm, view = attach_segment(seg)
+            self.segments.append(shm)
+            arrays[key] = view
+        self.colors = arrays.pop("colors")
+        self.work = arrays.pop("work")
+        self.ctrl = arrays.pop("ctrl")
+        self.adapter = _rebuild_adapter(spec["problem"], arrays, spec["cost"])
+        self.policy = spec["policy"]
+        self.fault = spec.get("fault")
+        self.ctx = TaskContext()
+        # Worker-private state dict: the process-pool analogue of the
+        # simulator's per-thread state (B1/B2 colmax/colnext, forbidden set).
+        self.thread_state: dict = {}
+        self.chunks_done = 0
+        self._kernels: dict[str, object] = {}
+
+    def kernel(self, phase_key: str):
+        kern = self._kernels.get(phase_key)
+        if kern is None:
+            kern = self._build_kernel(phase_key)
+            self._kernels[phase_key] = kern
+        return kern
+
+    def _build_kernel(self, phase_key: str):
+        from repro.core.policies import FirstFit
+
+        policy = self.policy
+        vertex_policy = policy if policy is not None else FirstFit()
+        net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
+        if phase_key == "color:vertex":
+            return self.adapter.make_vertex_color_kernel(vertex_policy)
+        if phase_key == "color:net":
+            return self.adapter.make_net_color_kernel(net_policy)
+        if phase_key == "remove:vertex":
+            return self.adapter.make_vertex_removal_kernel()
+        if phase_key == "remove:net":
+            return self.adapter.make_net_removal_kernel()
+        raise ValueError(f"unknown phase key {phase_key!r}")
+
+    def maybe_fault(self) -> None:
+        if self.fault is None:
+            return
+        if self.fault["kind"] == "kill" and self.chunks_done + 1 >= self.fault["after_chunks"]:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
+
+
+def _shared_twohop(arrays: dict):
+    """Reconstruct the parent's flattened two-hop cache from shared views.
+
+    Returns ``None`` when the parent skipped the build (structure above the
+    entry cap) — seeding ``None`` then stops the worker from re-deriving
+    that same verdict the expensive way.
+    """
+    from repro.graph.twohop import TwoHop
+
+    if "two_ptr" not in arrays:
+        return None
+    return TwoHop(
+        arrays["two_ptr"],
+        arrays["two_idx"],
+        arrays["two_sptr"],
+        arrays["two_send"],
+    )
+
+
+def _rebuild_adapter(problem: str, arrays: dict, cost):
+    """Zero-copy problem adapter over the shared CSR arrays.
+
+    Also seeds the two-hop memo for the rebuilt graph object: the parent
+    ships its flattened cache as shared segments, so kernel construction in
+    the worker is O(1) instead of an O(entries) re-flatten per process.
+    """
+    from repro.graph.csr import CSR
+
+    if problem == "bgpc":
+        from repro.core.bgpc.runner import BGPCAdapter
+        from repro.graph.bipartite import BipartiteGraph
+        from repro.graph.twohop import seed_bgpc_twohop
+
+        num_vertices = int(arrays["vptr"].size - 1)
+        num_nets = int(arrays["nptr"].size - 1)
+        bg = BipartiteGraph(
+            CSR(arrays["vptr"], arrays["vidx"], ncols=num_nets),
+            CSR(arrays["nptr"], arrays["nidx"], ncols=num_vertices),
+        )
+        seed_bgpc_twohop(bg, _shared_twohop(arrays))
+        return BGPCAdapter(bg, cost)
+    if problem == "d2gc":
+        from repro.core.d2gc.runner import D2GCAdapter
+        from repro.graph.twohop import seed_d2gc_twohop
+        from repro.graph.unipartite import Graph
+
+        num_vertices = int(arrays["aptr"].size - 1)
+        adj = CSR(arrays["aptr"], arrays["aidx"], ncols=num_vertices)
+        # Known symmetric by construction in the parent; skip the O(E log E)
+        # re-check in every worker.
+        g = Graph(adj, check=False)
+        seed_d2gc_twohop(g, _shared_twohop(arrays))
+        return D2GCAdapter(g, cost)
+    raise ValueError(f"unknown problem kind {problem!r}")
+
+
+#: The worker's state, set once by :func:`init_worker` (one per process).
+_STATE: _WorkerState | None = None
+
+
+def init_worker(spec: dict) -> None:
+    """Pool initializer: attach segments, rebuild the graph, cache kernels."""
+    global _STATE
+    _STATE = _WorkerState(spec)
+
+
+def warmup(args: tuple) -> int:
+    """Pool pre-warm barrier task: ``(slot, total)``.
+
+    The executor spawns workers lazily, one per submitted item with no
+    idle worker available — so the engine submits ``total`` of these, and
+    each spins (flagging its slot in the shared control segment) until all
+    ``total`` slots are flagged.  A spinning worker is not idle, so every
+    submit forces a fresh spawn: after the barrier releases, the whole pool
+    is up with segments attached, *before* the timed loop starts.  The
+    deadline keeps a failed spawn from hanging the barrier forever.
+    """
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process worker used before init_worker")
+    slot, total = args
+    ctrl = state.ctrl
+    ctrl[slot] = 1
+    deadline = time.monotonic() + 10.0
+    while int(ctrl[:total].sum()) < total:  # pragma: no branch
+        if time.monotonic() > deadline:  # pragma: no cover - spawn failure
+            break
+        time.sleep(0.001)
+    return os.getpid()
+
+
+def run_chunk(args: tuple) -> tuple:
+    """Execute one dynamic chunk: ``(phase_key, lo, hi, use_work)``.
+
+    Tasks are ``work[lo:hi]`` when ``use_work`` (vertex phases consume the
+    shared work queue) or the raw ids ``lo..hi`` (net phases).  Writes land
+    in the shared color segment immediately — real cross-process races —
+    and queue appends are returned to the parent for the barrier merge.
+
+    Returns ``(pid, tasks_done, appends)``.
+    """
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process worker used before init_worker")
+    phase_key, lo, hi, use_work = args
+    state.maybe_fault()
+    kernel = state.kernel(phase_key)
+    ctx = state.ctx
+    colors = state.colors
+    # tolist() bulk-converts to Python ints in C — cheaper than a per-task
+    # int() on numpy scalars in the hot loop.
+    task_source = state.work[lo:hi].tolist() if use_work else range(lo, hi)
+    appends: list[int] = []
+    for task in task_source:
+        ctx.reset(colors, 0, state.thread_state)
+        kernel(task, ctx)
+        # Immediate, unsynchronized stores into the shared segment.
+        for where, value in ctx.writes:
+            colors[where] = value
+        appends.extend(ctx.appends)
+    state.chunks_done += 1
+    return os.getpid(), hi - lo, appends
+
+
+def run_batch(chunks: list) -> tuple:
+    """Execute several chunks in one IPC message; aggregate the results.
+
+    The chunk (``plan.chunk``, 64 for the engineered specs) stays the
+    *execution* granularity — fault injection still counts per chunk — but
+    shipping a batch per message divides dispatch and result-pickling
+    round-trips by the batch factor, which dominates on small phases.
+
+    Returns ``(pid, tasks_done, appends)`` summed over the batch.
+    """
+    done = 0
+    appends: list[int] = []
+    for chunk in chunks:
+        _, chunk_done, chunk_appends = run_chunk(chunk)
+        done += chunk_done
+        appends.extend(chunk_appends)
+    return os.getpid(), done, appends

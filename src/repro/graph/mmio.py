@@ -33,10 +33,24 @@ _VALID_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
 
 
 def _open_text(path: str | Path) -> TextIO:
+    """Open a (possibly gzipped) MatrixMarket file for text reading.
+
+    Real SuiteSparse headers routinely carry non-ASCII comment bytes
+    (author names, accented affiliations), so the decode must never crash:
+    latin-1 maps every byte, and ``errors="replace"`` is belt-and-braces.
+    The gzip path hands its handle to a ``TextIOWrapper`` (whose ``close``
+    closes the wrapped stream); if the wrapper cannot be built, the
+    underlying handle is closed before the error propagates.
+    """
     path = Path(path)
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
-    return open(path, "r", encoding="ascii")
+        raw = gzip.open(path, "rb")
+        try:
+            return io.TextIOWrapper(raw, encoding="latin-1", errors="replace")
+        except BaseException:
+            raw.close()
+            raise
+    return open(path, "r", encoding="latin-1", errors="replace")
 
 
 def read_matrix_market(path: str | Path) -> BipartiteGraph:

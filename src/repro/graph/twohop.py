@@ -27,7 +27,14 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.unipartite import Graph
 
-__all__ = ["TwoHop", "bgpc_twohop", "d2gc_twohop", "MAX_CACHE_ENTRIES"]
+__all__ = [
+    "TwoHop",
+    "bgpc_twohop",
+    "d2gc_twohop",
+    "seed_bgpc_twohop",
+    "seed_d2gc_twohop",
+    "MAX_CACHE_ENTRIES",
+]
 
 #: Entry cap above which the flattened structure is not built (~400 MB at
 #: int64 x2 arrays); the kernels then use the per-net loop path instead.
@@ -129,6 +136,22 @@ def bgpc_twohop(bg: BipartiteGraph) -> TwoHop | None:
     )
     _bgpc_cache[bg] = two
     return two
+
+
+def seed_bgpc_twohop(bg: BipartiteGraph, two: TwoHop | None) -> None:
+    """Pre-populate the BGPC memo cache for ``bg``.
+
+    The ``process`` backend's workers rebuild the graph as views over
+    shared memory; seeding the cache with a :class:`TwoHop` reconstructed
+    from shared segments (or with ``None`` when the parent skipped the
+    build) spares every worker the O(entries) flatten at kernel-build time.
+    """
+    _bgpc_cache[bg] = two
+
+
+def seed_d2gc_twohop(g: Graph, two: TwoHop | None) -> None:
+    """Pre-populate the D2GC memo cache for ``g`` (see :func:`seed_bgpc_twohop`)."""
+    _d2gc_cache[g] = two
 
 
 def d2gc_twohop(g: Graph) -> TwoHop | None:

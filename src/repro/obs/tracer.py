@@ -238,8 +238,12 @@ class JsonlTracer:
 
     Accepts a path (opened and owned, closed by :meth:`close` or the
     context-manager exit) or an already-open text file object (borrowed,
-    left open).  Lines round-trip through ``json.loads`` — see
-    :func:`read_jsonl_trace`.
+    left open).  Every event is flushed as it is written, so a run that
+    dies mid-flight (a raised :class:`~repro.errors.ColoringError`, a
+    killed worker) still leaves a fully parseable trace with no truncated
+    final line.  Prefer the context-manager form — it closes the sink on
+    *every* exit path; :meth:`close` is idempotent either way.  Lines
+    round-trip through ``json.loads`` — see :func:`read_jsonl_trace`.
     """
 
     enabled = True
@@ -251,9 +255,13 @@ class JsonlTracer:
         else:
             self._fh = open(sink, "w", encoding="utf-8")
             self._owns = True
+        self._closed = False
 
     def _emit(self, event: TraceEvent) -> None:
         self._fh.write(event.to_json() + "\n")
+        # Per-event durability: an exception (or crash) mid-run must not
+        # truncate the last buffered event.
+        self._fh.flush()
 
     def span(self, name: str, **attrs) -> _Span:
         return _Span(self, name, attrs)
@@ -266,7 +274,10 @@ class JsonlTracer:
         self._emit(TraceEvent(type, name, float(value), attrs))
 
     def close(self) -> None:
-        """Flush and close the sink (if this tracer opened it)."""
+        """Flush and close the sink (if this tracer opened it); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self._fh.flush()
         if self._owns:
             self._fh.close()

@@ -3,14 +3,20 @@
 Every named schedule must produce a *valid* coloring on every registered
 backend; ``numpy``-exact mode must match the sequential reference (and
 therefore the one-thread simulator) byte-for-byte; ``threaded`` runs on
-real Python threads and must converge despite genuine races.
+real Python threads and must converge despite genuine races; ``process``
+runs on a shared-memory worker pool and must additionally leave zero
+stale ``/dev/shm`` segments on every exit path, including a worker killed
+mid-iteration.
 """
+
+import glob
 
 import numpy as np
 import pytest
 
 from repro.core.backends import (
     NumpyBackend,
+    ProcessBackend,
     SimBackend,
     ThreadedBackend,
     backend_names,
@@ -39,12 +45,13 @@ def sym_graph(rng):
 
 class TestRegistry:
     def test_default_backends_registered(self):
-        assert set(backend_names()) >= {"sim", "numpy", "threaded"}
+        assert set(backend_names()) >= {"sim", "numpy", "threaded", "process"}
 
     def test_get_backend_returns_singletons(self):
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("numpy"), NumpyBackend)
         assert isinstance(get_backend("threaded"), ThreadedBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
 
     def test_unknown_backend_lists_names(self):
         with pytest.raises(ColoringError, match="unknown backend"):
@@ -146,6 +153,99 @@ class TestThreadedBackend:
 
         with pytest.raises(ColoringError, match="kernel-level"):
             hybrid_bgpc(bg, ranks=2, threads_per_rank=2, backend="numpy")
+
+
+def _shm_segments() -> set:
+    """Current ``repro_shm_`` segments in ``/dev/shm`` (empty off Linux)."""
+    return set(glob.glob("/dev/shm/repro_shm_*"))
+
+
+class TestProcessBackend:
+    """Worker-pool semantics, shared-memory hygiene, and fault injection."""
+
+    def test_converges_and_reports_wall(self, bg):
+        from repro.obs import profile_table
+
+        result = color_bgpc(bg, algorithm="V-V-64D", threads=2, backend="process")
+        validate_bgpc(bg, result.colors)
+        assert result.backend == "process"
+        assert result.cycles == 0.0
+        assert result.wall_seconds > 0.0
+        assert all(rec.color_timing is None for rec in result.iterations)
+        assert all(rec.wall_seconds > 0.0 for rec in result.iterations)
+        assert "backend process" in profile_table(result)
+
+    def test_dispatched_phases_beyond_one_chunk(self, rng):
+        # > chunk tasks forces pool dispatch (small phases run inline in
+        # the parent); the coloring must stay valid either way.
+        big = bipartite_from_dense((rng.random((90, 160)) < 0.08).astype(int))
+        result = color_bgpc(big, algorithm="V-V-64D", threads=2, backend="process")
+        validate_bgpc(big, result.colors)
+
+    def test_single_worker_v_v_matches_sequential(self, bg):
+        # One worker drains the chunk queue in order with no races: plain
+        # greedy in work order, exactly like threaded at one thread.
+        result = color_bgpc(bg, algorithm="V-V", threads=1, backend="process")
+        seq = sequential_bgpc(bg)
+        assert result.colors.tobytes() == seq.colors.tobytes()
+        assert result.num_iterations == 1
+
+    def test_worker_counters_through_tracer(self, bg):
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer()
+        result = color_bgpc(
+            bg, algorithm="V-V-64D", threads=2, backend="process", tracer=tracer
+        )
+        validate_bgpc(bg, result.colors)
+        counters = [e for e in tracer.events if e.name == "process.worker_tasks"]
+        assert counters
+        assert all(e.attrs["phase"] in ("color", "remove") for e in counters)
+        colored = sum(
+            e.value for e in counters if e.attrs["phase"] == "color"
+        )
+        # Every vertex is colored at least once (conflicts recolor extras).
+        assert colored >= bg.num_vertices
+
+    def test_no_leaked_segments_after_clean_run(self, bg):
+        before = _shm_segments()
+        result = color_bgpc(bg, algorithm="V-V-64D", threads=2, backend="process")
+        validate_bgpc(bg, result.colors)
+        assert _shm_segments() == before
+
+    def test_killed_worker_raises_and_leaks_nothing(self, bg, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_FAULT", "kill")
+        before = _shm_segments()
+        with pytest.raises(ColoringError, match="worker process died"):
+            color_bgpc(bg, algorithm="V-V-64D", threads=2, backend="process")
+        assert _shm_segments() == before
+
+    def test_malformed_fault_directive_rejected(self, bg, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_FAULT", "explode")
+        with pytest.raises(ColoringError, match="fault directive"):
+            color_bgpc(bg, algorithm="V-V-64D", threads=2, backend="process")
+
+    def test_parse_fault_grammar(self):
+        from repro.core.procworker import parse_fault
+
+        assert parse_fault(None) is None
+        assert parse_fault("") is None
+        assert parse_fault("kill") == {"kind": "kill", "after_chunks": 1}
+        assert parse_fault("kill:3") == {"kind": "kill", "after_chunks": 3}
+        with pytest.raises(ValueError):
+            parse_fault("kill:0")
+        with pytest.raises(ValueError):
+            parse_fault("explode")
+
+    def test_invalid_worker_count_rejected(self, bg):
+        with pytest.raises(ColoringError, match="threads >= 1"):
+            color_bgpc(bg, algorithm="V-V-64D", threads=0, backend="process")
+
+    def test_hybrid_dist_rejects_process(self, bg):
+        from repro.dist.hybrid import hybrid_bgpc
+
+        with pytest.raises(ColoringError, match="kernel-level"):
+            hybrid_bgpc(bg, ranks=2, threads_per_rank=2, backend="process")
 
 
 class TestTracedParity:

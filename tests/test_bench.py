@@ -67,7 +67,7 @@ class TestExperimentsTinyScale:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "ablations", "manycore",
-            "profile",
+            "profile", "scaling",
         }
 
     @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",
@@ -93,6 +93,14 @@ class TestExperimentsTinyScale:
         exp = ALL_EXPERIMENTS["figure3"](scale="tiny", threads=8)
         for curve in exp.data["curves"].values():
             assert np.all(np.diff(curve) <= 0)
+
+    def test_scaling_sweeps_both_wall_backends(self):
+        exp = ALL_EXPERIMENTS["scaling"](scale="tiny", threads=2)
+        assert {row[0] for row in exp.rows} == {"threaded", "process"}
+        assert {row[1] for row in exp.rows} == {1, 2}
+        assert all(row[2] > 0 for row in exp.rows)  # wall ms measured
+        assert exp.data["host_cores"] >= 1
+        assert "core(s)" in exp.notes
 
     def test_table6_baseline_rows_are_one(self):
         exp = ALL_EXPERIMENTS["table6"](scale="tiny", threads=8)

@@ -83,6 +83,22 @@ class TestCli:
         assert "4 real threads (threaded backend)" in out
         assert "wall" in out
 
+    def test_process_backend(self, mtx_file, capsys):
+        # End-to-end on the worker pool: validated coloring, wall-clock
+        # line, and no shared-memory segment left behind.
+        import glob
+
+        before = set(glob.glob("/dev/shm/repro_shm_*"))
+        code = main(
+            [str(mtx_file), "--backend", "process", "--threads", "2",
+             "--algorithm", "V-V-64D"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 worker processes (process backend, shared memory)" in out
+        assert "wall" in out
+        assert set(glob.glob("/dev/shm/repro_shm_*")) == before
+
 
 class TestCliObservability:
     def test_profile_sim(self, mtx_file, capsys):
@@ -134,3 +150,43 @@ class TestCliErrors:
         bad.write_text("not a matrix market file\n")
         assert main([str(bad)]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+    def test_unreadable_path_graceful(self, tmp_path, capsys):
+        # A directory path raises IsADirectoryError — an OSError like
+        # ENOENT: one line, exit 2 (chmod tricks don't work under root).
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unwritable_output_graceful(self, mtx_file, capsys):
+        code = main(
+            [str(mtx_file), "--output", "/nonexistent/dir/colors.txt"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and len(err.strip().splitlines()) == 1
+
+    def test_unwritable_trace_graceful(self, mtx_file, capsys):
+        code = main(
+            [str(mtx_file), "--trace", "/nonexistent/dir/trace.jsonl"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot write trace" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_killed_worker_graceful(self, mtx_file, capsys, monkeypatch):
+        # A worker crash surfaces as a one-line coloring error, exit 2 —
+        # and the parent reclaims every shared segment on the way out.
+        import glob
+
+        monkeypatch.setenv("REPRO_PROCESS_FAULT", "kill")
+        before = set(glob.glob("/dev/shm/repro_shm_*"))
+        code = main(
+            [str(mtx_file), "--backend", "process", "--threads", "2",
+             "--algorithm", "V-V-64D"]
+        )
+        assert code == 2
+        assert "worker process died" in capsys.readouterr().err
+        assert set(glob.glob("/dev/shm/repro_shm_*")) == before

@@ -71,6 +71,56 @@ class TestRead:
         bg = read_matrix_market(path)
         assert bg.num_edges == 2
 
+    def test_non_ascii_comment_header(self, tmp_path):
+        # Real SuiteSparse headers carry author names with accented or
+        # arbitrary non-ASCII bytes; the reader must not crash on them.
+        body = (
+            b"%%MatrixMarket matrix coordinate pattern general\n"
+            b"% author: Fran\xe7ois M\xfcller \xfe\xff\n"
+            b"2 2 2\n1 1\n2 2\n"
+        )
+        path = tmp_path / "latin.mtx"
+        path.write_bytes(body)
+        bg = read_matrix_market(path)
+        assert bg.num_edges == 2
+
+    def test_non_ascii_comment_header_gzip(self, tmp_path):
+        body = (
+            b"%%MatrixMarket matrix coordinate pattern general\n"
+            b"% \xe9\xe8\xea accents everywhere\n"
+            b"1 2 2\n1 1\n1 2\n"
+        )
+        path = tmp_path / "latin.mtx.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(body)
+        bg = read_matrix_market(path)
+        assert bg.num_edges == 2
+
+    def test_gzip_handle_closed_on_wrapper_error(self, tmp_path, monkeypatch):
+        # If building the text wrapper fails, the gzip handle must still be
+        # closed rather than leaked.
+        from repro.graph import mmio
+
+        opened = []
+        real_gzip_open = gzip.open
+
+        def tracking_gzip_open(*args, **kwargs):
+            fh = real_gzip_open(*args, **kwargs)
+            opened.append(fh)
+            return fh
+
+        def exploding_wrapper(*args, **kwargs):
+            raise ValueError("wrapper construction failed")
+
+        path = tmp_path / "m.mtx.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(b"%%MatrixMarket matrix coordinate pattern general\n1 1 0\n")
+        monkeypatch.setattr(mmio.gzip, "open", tracking_gzip_open)
+        monkeypatch.setattr(mmio.io, "TextIOWrapper", exploding_wrapper)
+        with pytest.raises(ValueError, match="wrapper"):
+            read_matrix_market(path)
+        assert opened and all(fh.closed for fh in opened)
+
     def test_blank_lines_and_comments_between_entries(self, tmp_path):
         path = write_text(
             tmp_path,

@@ -220,6 +220,37 @@ class TestJsonlTracer:
             for key in ("iteration", "queue_size", "conflicts", "colors_introduced"):
                 assert a.attrs.get(key) == b.attrs.get(key)
 
+    def test_failing_run_leaves_parseable_trace(self, bg, tmp_path, monkeypatch):
+        # Per-event flush: a run that dies mid-flight (here: a worker
+        # process killed by fault injection) must still leave a trace whose
+        # every line parses — no truncated tail, no leaked handle.
+        from repro.errors import ColoringError
+
+        monkeypatch.setenv("REPRO_PROCESS_FAULT", "kill")
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(ColoringError, match="worker process died"):
+            with JsonlTracer(path) as tracer:
+                color_bgpc(
+                    bg,
+                    algorithm="V-V-64D",
+                    threads=2,
+                    backend="process",
+                    tracer=tracer,
+                )
+        lines = path.read_text().splitlines()
+        assert lines  # open spans emit on the exception path
+        for line in lines:
+            payload = json.loads(line)
+            assert set(payload) == {"type", "name", "value", "attrs"}
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.counter("x", 1.0)
+        tracer.close()
+        tracer.close()  # second close is a no-op, not an error
+        assert json.loads(path.read_text())["name"] == "x"
+
     def test_borrowed_file_object_left_open(self, tmp_path):
         path = tmp_path / "t.jsonl"
         with open(path, "w", encoding="utf-8") as fh:

@@ -2,6 +2,10 @@
 
 Runs the requested experiments (all of them by default) at the requested
 scale and prints each rendered table; optionally writes them to a file.
+
+One subcommand is dispatched before the experiment machinery:
+``python -m repro.bench regress`` runs the deterministic work-metric
+regression gate (:mod:`repro.bench.regress.cli`).
 """
 
 from __future__ import annotations
@@ -15,6 +19,11 @@ from repro.bench.experiments import ALL_EXPERIMENTS
 
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments and print/export their tables."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "regress":
+        from repro.bench.regress.cli import main as regress_main
+
+        return regress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

@@ -1,0 +1,43 @@
+"""Deterministic perf-regression gate over work-metric counters.
+
+Three pieces (see ``docs/benchmarks.md`` for the workflow):
+
+* :mod:`~repro.bench.regress.suite` — the pinned, seeded benchmark cases
+  (BGPC + D2GC schedules across all four execution backends, sized for
+  CI);
+* :mod:`~repro.bench.regress.store` — collecting work metrics into
+  canonical, byte-reproducible ``BENCH_*.json`` baselines;
+* :mod:`~repro.bench.regress.compare` — tolerance-banded comparison with
+  a per-kernel delta table and a non-zero exit on regression, fronted by
+  :mod:`~repro.bench.regress.cli` (``python -m repro.bench regress``).
+
+The gate compares *work* (forbidden-color probes, member scans, conflict
+checks, queue pushes, color writes — :data:`repro.obs.work.WORK_METRICS`),
+not wall-clock: counts are exactly reproducible on any machine, so CI can
+fail on a 2% inflation without a quiet benchmarking box.
+"""
+
+from repro.bench.regress.compare import (
+    DEFAULT_TOLERANCE,
+    EXACT_METRICS,
+    CompareReport,
+    MetricDelta,
+    compare,
+)
+from repro.bench.regress.store import RegressError, collect, load, save
+from repro.bench.regress.suite import BenchCase, default_suite, select_cases
+
+__all__ = [
+    "BenchCase",
+    "CompareReport",
+    "DEFAULT_TOLERANCE",
+    "EXACT_METRICS",
+    "MetricDelta",
+    "RegressError",
+    "collect",
+    "compare",
+    "default_suite",
+    "load",
+    "save",
+    "select_cases",
+]

@@ -1,0 +1,138 @@
+"""``python -m repro.bench regress`` — the perf-regression gate CLI.
+
+Typical uses::
+
+    # create / refresh the committed baseline
+    python -m repro.bench regress --write BENCH_baseline.json
+
+    # CI gate: compare a fresh collection against the committed baseline,
+    # write the fresh numbers next to it for the artifact upload
+    python -m repro.bench regress --baseline BENCH_baseline.json \
+        --write BENCH_head.json
+
+    # prove the gate trips: inflate one metric 2x and expect exit 1
+    python -m repro.bench regress --baseline BENCH_baseline.json --inject probes=2
+
+Exit codes: 0 = no regression, 1 = regression (or nondeterministic
+counters), 2 = usage / environment error.  Wall-clock is printed as an
+advisory table only — it never gates and is never written to the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.regress.compare import (
+    DEFAULT_TOLERANCE,
+    compare,
+    inject,
+    parse_injection,
+)
+from repro.bench.regress.store import RegressError, collect, load, save
+from repro.bench.regress.suite import default_suite, select_cases
+
+__all__ = ["main"]
+
+
+def _advisory_table(advisory: dict[str, float]) -> str:
+    width = max(len(cid) for cid in advisory)
+    lines = [f"{'case':<{width}}  median wall (advisory)"]
+    for cid, wall in advisory.items():
+        lines.append(f"{cid:<{width}}  {wall * 1000:>8.1f} ms")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench regress",
+        description="Deterministic work-metric regression gate.",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="compare against this BENCH_*.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--write", default=None,
+        help="write the freshly collected metrics to this path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="runs per case; repeats must agree exactly or the suite "
+        "fails as nondeterministic (default: 2)",
+    )
+    parser.add_argument(
+        "--cases", nargs="*", default=[], metavar="GLOB",
+        help="only run cases whose id matches any glob (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list case ids and exit"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative band for count metrics (default: "
+        f"{DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="METRIC=FACTOR",
+        help="inflate METRIC by FACTOR in the fresh collection before "
+        "comparing — a self-test hook proving the gate trips",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="itemize in-band metrics in the delta table too",
+    )
+    args = parser.parse_args(argv)
+
+    cases = select_cases(default_suite(), args.cases)
+    if args.list:
+        for case in cases:
+            print(case.id)
+        return 0
+    if not cases:
+        print(f"no cases match {args.cases}", file=sys.stderr)
+        return 2
+    if args.baseline is None and args.write is None:
+        parser.print_usage(sys.stderr)
+        print(
+            "nothing to do: pass --baseline to compare and/or --write "
+            "to record",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        current, advisory = collect(cases, repeats=args.repeats)
+    except RegressError as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 1
+
+    if args.inject is not None:
+        try:
+            metric, factor = parse_injection(args.inject)
+            touched = inject(current, metric, factor)
+        except RegressError as exc:
+            print(f"regress: {exc}", file=sys.stderr)
+            return 2
+        print(f"[inject] {metric} x{factor:g} applied to {touched} case(s)")
+
+    if args.write:
+        save(current, args.write)
+        print(f"wrote {len(current['cases'])} case(s) to {args.write}")
+
+    print(_advisory_table(advisory))
+
+    if args.baseline:
+        try:
+            baseline = load(args.baseline)
+        except RegressError as exc:
+            print(f"regress: {exc}", file=sys.stderr)
+            return 2
+        report = compare(baseline, current, tolerance=args.tolerance)
+        print(report.render(verbose=args.verbose))
+        return 0 if report.ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

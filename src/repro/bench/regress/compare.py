@@ -1,0 +1,179 @@
+"""Baseline comparison: tolerance bands, delta table, regression verdict.
+
+The comparator is intentionally asymmetric.  Doing *more* work than the
+baseline beyond the tolerance band is a regression — that is the failure
+mode the gate exists for.  Doing *less* work passes (and is labelled
+``improved`` in the table as a prompt to re-baseline and bank the win).
+Behavioral metrics (``num_colors``, ``iterations``) are exact: any change,
+in either direction, means the algorithm's output moved and the baseline
+must be consciously regenerated, not silently absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.regress.store import RegressError
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "EXACT_METRICS",
+    "CompareReport",
+    "MetricDelta",
+    "compare",
+    "parse_injection",
+    "inject",
+]
+
+#: Relative tolerance band for count metrics (2%): small intended changes
+#: (e.g. an extra bounds probe) pass; systematic inflation does not.
+DEFAULT_TOLERANCE = 0.02
+
+#: Metrics compared exactly — any change fails (see module docstring).
+EXACT_METRICS = ("num_colors", "iterations")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (case, metric) comparison."""
+
+    case: str
+    metric: str
+    base: int
+    current: int
+    status: str  # "ok" | "improved" | "regressed" | "changed"
+
+    @property
+    def ratio(self) -> float:
+        if self.base == 0:
+            return 1.0 if self.current == 0 else float("inf")
+        return self.current / self.base
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "changed")
+
+
+@dataclass
+class CompareReport:
+    """Everything the CLI needs to print and to pick an exit code."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_cases: list[str] = field(default_factory=list)
+    new_cases: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.missing_cases
+
+    def render(self, verbose: bool = False) -> str:
+        """Per-kernel delta table: failures and improvements always shown,
+        in-band metrics summarized (or itemized with ``verbose``)."""
+        lines = []
+        shown = [
+            d for d in self.deltas
+            if verbose or d.status in ("regressed", "changed", "improved")
+        ]
+        if shown:
+            wcase = max(len(d.case) for d in shown)
+            wmet = max(len(d.metric) for d in shown)
+            header = (
+                f"{'case':<{wcase}}  {'metric':<{wmet}}  "
+                f"{'baseline':>12}  {'current':>12}  {'delta':>8}  status"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for d in shown:
+                if d.base == 0:
+                    delta = "n/a" if d.current else "0.0%"
+                else:
+                    delta = f"{(d.ratio - 1.0) * 100:+.1f}%"
+                lines.append(
+                    f"{d.case:<{wcase}}  {d.metric:<{wmet}}  "
+                    f"{d.base:>12}  {d.current:>12}  {delta:>8}  {d.status}"
+                )
+        in_band = len(self.deltas) - len(shown)
+        if in_band:
+            lines.append(f"({in_band} metric(s) within tolerance not shown)")
+        for case in self.missing_cases:
+            lines.append(f"MISSING: baseline case {case!r} was not run")
+        for case in self.new_cases:
+            lines.append(f"new case {case!r} not in baseline (ignored)")
+        if self.ok:
+            lines.append("OK: no work-metric regressions")
+        else:
+            n = len(self.failures) + len(self.missing_cases)
+            lines.append(f"FAIL: {n} regression(s) against baseline")
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CompareReport:
+    """Compare two store payloads (see :mod:`repro.bench.regress.store`).
+
+    Every case present in ``baseline`` must be present in ``current``
+    (missing cases fail — a silently dropped case is a hole in the gate);
+    cases only in ``current`` are reported but do not fail, so adding a
+    case and regenerating the baseline can happen in either order.
+    """
+    report = CompareReport()
+    base_cases = baseline["cases"]
+    cur_cases = current["cases"]
+    report.new_cases = sorted(set(cur_cases) - set(base_cases))
+    for case_id in sorted(base_cases):
+        if case_id not in cur_cases:
+            report.missing_cases.append(case_id)
+            continue
+        base_metrics = base_cases[case_id]["metrics"]
+        cur_metrics = cur_cases[case_id]["metrics"]
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            base = int(base_metrics.get(metric, 0))
+            cur = int(cur_metrics.get(metric, 0))
+            if metric in EXACT_METRICS:
+                status = "ok" if cur == base else "changed"
+            elif cur > base * (1.0 + tolerance):
+                status = "regressed"
+            elif cur < base:
+                status = "improved"
+            else:
+                status = "ok"
+            report.deltas.append(MetricDelta(case_id, metric, base, cur, status))
+    return report
+
+
+def parse_injection(spec: str) -> tuple[str, float]:
+    """Parse a ``METRIC=FACTOR`` injection spec (e.g. ``probes=2``)."""
+    if "=" not in spec:
+        raise RegressError(f"bad --inject spec {spec!r}; expected METRIC=FACTOR")
+    metric, _, factor_s = spec.partition("=")
+    try:
+        factor = float(factor_s)
+    except ValueError as exc:
+        raise RegressError(f"bad --inject factor {factor_s!r}") from exc
+    return metric.strip(), factor
+
+
+def inject(current: dict, metric: str, factor: float) -> int:
+    """Multiply ``metric`` by ``factor`` in every case of ``current``.
+
+    A test/CI hook: a synthetic regression that exercises the whole
+    gate end-to-end (collect → inject → compare → non-zero exit) without
+    touching the kernels.  Returns the number of metrics inflated; zero
+    means the metric name matched nothing, which is an error upstream.
+    """
+    touched = 0
+    for payload in current["cases"].values():
+        metrics = payload["metrics"]
+        if metric in metrics:
+            metrics[metric] = int(metrics[metric] * factor)
+            touched += 1
+    if touched == 0:
+        raise RegressError(f"--inject metric {metric!r} matched no case metric")
+    return touched

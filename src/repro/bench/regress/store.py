@@ -1,0 +1,122 @@
+"""Collecting and persisting work-metric baselines (``BENCH_*.json``).
+
+A baseline file is **fully deterministic**: it contains only machine-count
+metrics (work counters, colors, iterations, simulated cycles), serialized
+as canonical JSON (sorted keys, fixed indentation, trailing newline).  Two
+consecutive ``python -m repro.bench regress --write`` runs on the same
+revision therefore produce byte-for-byte identical files — that property
+is itself under test (``tests/test_regress.py``) and is what lets CI diff
+baselines meaningfully.  Wall-clock is *advisory*: measured and reported
+by the CLI, never written to the store (see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+
+from repro.bench.regress.suite import BenchCase
+from repro.errors import ReproError
+
+__all__ = ["SCHEMA_VERSION", "RegressError", "collect", "dumps", "load", "save"]
+
+#: Version of the baseline JSON layout; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+class RegressError(ReproError):
+    """A regression-suite failure that is not a metric regression itself:
+    nondeterministic counters across repeats, malformed baseline files,
+    unknown metrics in an injection spec."""
+
+
+def _case_metrics(case: BenchCase, result) -> dict[str, int]:
+    """The deterministic metric vector of one finished case run."""
+    metrics = dict(result.work_metrics)
+    metrics["num_colors"] = int(result.num_colors)
+    metrics["iterations"] = int(result.num_iterations)
+    if case.backend == "sim":
+        # Simulated cycles are exact integers in disguise (cost models are
+        # integral); pin them so cost-model regressions are caught too.
+        metrics["cycles"] = int(round(result.cycles))
+    return metrics
+
+
+def collect(cases: list[BenchCase], repeats: int = 2):
+    """Run every case ``repeats`` times; return ``(baseline, advisory)``.
+
+    ``baseline`` is the deterministic store payload (see module docstring).
+    ``advisory`` maps case id to the median measured wall-clock seconds —
+    reporting material, never gating material.
+
+    Raises :class:`RegressError` if any repeat of a case disagrees with the
+    first on any metric: the suite's contract is determinism, and a flaky
+    counter would make the gate meaningless.
+    """
+    if repeats < 1:
+        raise RegressError(f"repeats must be >= 1, got {repeats}")
+    case_payload: dict[str, dict] = {}
+    advisory: dict[str, float] = {}
+    for case in cases:
+        first: dict[str, int] | None = None
+        walls: list[float] = []
+        for rep in range(repeats):
+            t0 = time.perf_counter()
+            result = case.run()
+            walls.append(time.perf_counter() - t0)
+            metrics = _case_metrics(case, result)
+            if first is None:
+                first = metrics
+            elif metrics != first:
+                changed = sorted(
+                    m for m in set(first) | set(metrics)
+                    if first.get(m) != metrics.get(m)
+                )
+                raise RegressError(
+                    f"case {case.id!r} is nondeterministic: repeat {rep} "
+                    f"changed {changed} (first={first}, now={metrics})"
+                )
+        case_payload[case.id] = {"metrics": first}
+        advisory[case.id] = median(walls)
+    # No run configuration (repeats, timestamps, host) in the payload: the
+    # file must be identical however the collection was invoked.
+    baseline = {
+        "schema": SCHEMA_VERSION,
+        "suite": "default",
+        "cases": case_payload,
+    }
+    return baseline, advisory
+
+
+def dumps(baseline: dict) -> str:
+    """Canonical serialization: sorted keys, indent 2, trailing newline."""
+    return json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+
+
+def save(baseline: dict, path: str | Path) -> None:
+    Path(path).write_text(dumps(baseline), encoding="utf-8")
+
+
+def load(path: str | Path) -> dict:
+    """Load and sanity-check a baseline file."""
+    p = Path(path)
+    if not p.exists():
+        raise RegressError(
+            f"baseline file {p} does not exist; create one with "
+            "`python -m repro.bench regress --write " + str(p) + "`"
+        )
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise RegressError(f"baseline file {p} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "cases" not in data:
+        raise RegressError(f"baseline file {p} has no 'cases' section")
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise RegressError(
+            f"baseline file {p} has schema {schema!r}; this build reads "
+            f"schema {SCHEMA_VERSION}"
+        )
+    return data

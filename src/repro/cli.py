@@ -9,6 +9,7 @@ Usage::
     python -m repro input.mtx --backend threaded --algo V-V-64D
     python -m repro input.mtx --backend process --threads 4
     python -m repro input.mtx --profile --trace run.jsonl
+    python -m repro input.mtx --work-metrics
 
 ``--algo`` accepts any spec the schedule grammar admits (``V-N∞``,
 ``n1-n2-b1``, …), not just the named table entries, and ``--backend``
@@ -113,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="stream structured trace events (spans/counters) to FILE as "
         "JSON lines; see docs/observability.md for the event schema",
+    )
+    parser.add_argument(
+        "--work-metrics",
+        action="store_true",
+        help="print the run's deterministic work counters (probes, scans, "
+        "conflict checks, queue pushes, color writes); these are the "
+        "numbers the perf-regression gate compares — see "
+        "docs/benchmarks.md",
     )
     return parser
 
@@ -236,6 +245,13 @@ def _run(args, bg, policy, tracer=None) -> int:
         print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
+    if args.work_metrics:
+        from repro.obs import WORK_METRICS
+
+        parts = ", ".join(
+            f"{m} {result.work_metrics.get(m, 0)}" for m in WORK_METRICS
+        )
+        print(f"work     : {parts}")
     if args.profile:
         from repro.obs import profile_table
 

@@ -74,9 +74,15 @@ class PhaseEngine(Protocol):
     engines return a :class:`~repro.types.PhaseTiming` per phase and report
     ``total_cycles``; unclocked engines return ``None`` timings and the
     loop records measured wall seconds instead.
+
+    ``last_work`` holds the :class:`~repro.obs.work.WorkCounters` of the
+    most recent :meth:`run_phase` call (``None`` before the first phase):
+    the deterministic operation counts the regression gate compares — see
+    :mod:`repro.obs.work` and ``docs/benchmarks.md``.
     """
 
     clocked: bool
+    last_work: object | None
 
     @property
     def values(self) -> np.ndarray:
@@ -116,6 +122,7 @@ class SimPhaseEngine:
         self.machine = Machine(threads, cost, tracer=tracer)
         self.machine.reset_thread_states()
         self.memory = self.machine.make_memory(initial_colors)
+        self.last_work = None
 
     @property
     def values(self) -> np.ndarray:
@@ -123,8 +130,10 @@ class SimPhaseEngine:
 
     def run_phase(self, plan, n_tasks, kernel, task_ids=None, scan_items=0):
         from repro.machine.scheduler import Schedule
+        from repro.obs.work import WorkCounters
 
         extra = self.machine.parallel_scan_cost(scan_items) if scan_items else 0
+        self.last_work = work = WorkCounters()
         return self.machine.parallel_for(
             n_tasks,
             kernel,
@@ -134,6 +143,7 @@ class SimPhaseEngine:
             phase_kind=plan.phase,
             task_ids=task_ids,
             extra_wall=extra,
+            work=work,
         )
 
     def snapshot(self) -> np.ndarray:
@@ -161,14 +171,19 @@ class ThreadedPhaseEngine:
 
         self.executor = ThreadedExecutor(threads)
         self.colors = np.array(initial_colors, dtype=np.int64, copy=True)
+        self.last_work = None
 
     @property
     def values(self) -> np.ndarray:
         return self.colors
 
     def run_phase(self, plan, n_tasks, kernel, task_ids=None, scan_items=0):
+        from repro.obs.work import WorkCounters
+
+        self.last_work = work = WorkCounters()
         queued = self.executor.parallel_for(
-            n_tasks, kernel, self.colors, chunk=plan.chunk, task_ids=task_ids
+            n_tasks, kernel, self.colors, chunk=plan.chunk, task_ids=task_ids,
+            work=work,
         )
         return None, queued
 
@@ -234,6 +249,7 @@ class ProcessPhaseEngine:
         self._inline_state: dict = {}
         self._shms = []
         self._closed = False
+        self.last_work = None
         segments = {}
         try:
             initial = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
@@ -299,7 +315,9 @@ class ProcessPhaseEngine:
         from concurrent.futures.process import BrokenProcessPool
 
         from repro.core import procworker
+        from repro.obs.work import WorkCounters
 
+        self.last_work = work = WorkCounters()
         if n_tasks == 0:
             return None, []
         use_work = task_ids is not None
@@ -331,9 +349,12 @@ class ProcessPhaseEngine:
             effective = max(1, min(self.threads, os.cpu_count() or 1))
             batch = max(1, len(ranges) // (effective * 4))
             groups = [ranges[i : i + batch] for i in range(0, len(ranges), batch)]
-            for pid, done, appends in self.pool.map(procworker.run_batch, groups):
+            for pid, done, appends, batch_work in self.pool.map(
+                procworker.run_batch, groups
+            ):
                 queued.extend(appends)
                 per_worker[pid] = per_worker.get(pid, 0) + done
+                work.merge(batch_work)
         except BrokenProcessPool as exc:
             raise ColoringError(
                 "process backend: a worker process died mid-phase "
@@ -375,6 +396,7 @@ class ProcessPhaseEngine:
             for where, value in ctx.writes:
                 colors[where] = value
             queued.extend(ctx.appends)
+            self.last_work.add_task(ctx)
         pid = os.getpid()
         self.worker_totals[pid] = self.worker_totals.get(pid, 0) + n_tasks
         if self.tracer.enabled:
@@ -447,10 +469,27 @@ def run_plan_loop(
     Asks ``schedule`` for each iteration's phase plans and ``engine`` to
     execute them; everything schedule- or backend-specific lives behind
     those two objects.  Shared by every kernel-level backend.
+
+    Work metrics: after each phase the engine's
+    :class:`~repro.obs.work.WorkCounters` are emitted as ``work.<metric>``
+    counter events (iteration/phase/kind attributes) and folded into the
+    run totals returned in :attr:`ColoringResult.work_metrics
+    <repro.types.ColoringResult.work_metrics>`.
     """
     from repro.obs.tracer import ensure_tracer
+    from repro.obs.work import WorkCounters
 
     tracer = ensure_tracer(tracer)
+    run_work = WorkCounters()
+
+    def _collect_work(phase: str, kind: str) -> None:
+        phase_work = getattr(engine, "last_work", None)
+        if phase_work is None:
+            return
+        run_work.merge(phase_work)
+        if tracer.enabled:
+            phase_work.emit(tracer, iteration=iteration, phase=phase, kind=kind)
+
     vertex_policy = policy if policy is not None else FirstFit()
     net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
 
@@ -496,6 +535,7 @@ def run_plan_loop(
                             plan.color, work.size, vertex_color, task_ids=work
                         )
                         color_tasks = int(work.size)
+                    _collect_work(PhaseKind.COLOR, plan.color.kind)
                     _set_phase_span(phase_span, color_timing, color_tasks)
                 # ---- conflict-removal phase ---------------------------------
                 with tracer.span(
@@ -521,6 +561,7 @@ def run_plan_loop(
                         )
                         remove_tasks = int(work.size)
                         next_work = np.asarray(queued, dtype=np.int64)
+                    _collect_work(PhaseKind.REMOVE, plan.remove.kind)
                     _set_phase_span(
                         phase_span,
                         remove_timing,
@@ -580,6 +621,7 @@ def run_plan_loop(
         cycles=engine.total_cycles,
         backend=backend_name,
         wall_seconds=0.0 if engine.clocked else time.perf_counter() - run_start,
+        work_metrics=run_work.as_dict(),
     )
 
 
@@ -769,6 +811,7 @@ class NumpyBackend:
     ) -> ColoringResult:
         from repro.core.fastpath.engine import run_fastpath
         from repro.obs.tracer import ensure_tracer
+        from repro.obs.work import WorkCounters
 
         if policy is not None and not isinstance(policy, FirstFit):
             raise ColoringError(
@@ -777,11 +820,14 @@ class NumpyBackend:
             )
         tracer = ensure_tracer(tracer)
         groups = adapter.fastpath_groups()
+        run_work = WorkCounters()
         t0 = time.perf_counter()
         with tracer.span(
             "run", algorithm=name, backend="numpy", mode=fastpath_mode
         ) as run_span:
-            colors, records = run_fastpath(groups, mode=fastpath_mode, tracer=tracer)
+            colors, records = run_fastpath(
+                groups, mode=fastpath_mode, tracer=tracer, work=run_work
+            )
             run_span.set(
                 num_colors=int(colors.max()) + 1 if colors.size else 0,
                 iterations=len(records),
@@ -796,6 +842,7 @@ class NumpyBackend:
             cycles=0.0,
             backend="numpy",
             wall_seconds=wall,
+            work_metrics=run_work.as_dict(),
         )
 
 

@@ -98,6 +98,8 @@ def make_net_color_kernel(bg: BipartiteGraph, cost: CostModel, policy=None):
                 ctx.write(u, col)
                 steps += more
 
+        ctx.count_scans(int(members.size))
+        ctx.count_probes(steps)
         ctx.charge_mem(members.size * edge + int(local.size) * write)
         ctx.charge_cpu((members.size + steps) * forbid)
 
@@ -145,6 +147,8 @@ def make_net_color_kernel_v1(bg: BipartiteGraph, cost: CostModel, reverse: bool 
                 ctx.write(u, col)
                 writes += 1
             forb.add(cu)
+        ctx.count_scans(int(members.size))
+        ctx.count_probes(steps)
         ctx.charge_mem(members.size * edge + writes * write)
         ctx.charge_cpu((members.size + steps) * forbid)
 
@@ -180,6 +184,7 @@ def make_net_removal_kernel(bg: BipartiteGraph, cost: CostModel):
                 for pos in colored_pos[~keep]:
                     ctx.write(int(members[pos]), UNCOLORED)
                     resets += 1
+        ctx.count_checks(int(members.size))
         ctx.charge_mem(members.size * edge + resets * write)
         ctx.charge_cpu(members.size * forbid)
 

@@ -79,6 +79,8 @@ def make_vertex_color_kernel(bg: BipartiteGraph, policy, cost: CostModel):
             touched = entries.size + (vptr[w + 1] - vptr[w])
             col, steps = policy.choose(forb, w, ctx.thread_state)
             ctx.write(w, col)
+            ctx.count_scans(int(touched))
+            ctx.count_probes(steps)
             ctx.charge_mem(int(touched) * edge + write)
             ctx.charge_cpu((int(touched) + steps) * forbid)
 
@@ -97,6 +99,8 @@ def make_vertex_color_kernel(bg: BipartiteGraph, policy, cost: CostModel):
             touched += members.size + 1
         col, steps = policy.choose(forb, w, ctx.thread_state)
         ctx.write(w, col)
+        ctx.count_scans(touched)
+        ctx.count_probes(steps)
         ctx.charge_mem(touched * edge + write)
         ctx.charge_cpu((touched + steps) * forbid)
 
@@ -138,6 +142,7 @@ def make_vertex_removal_kernel(bg: BipartiteGraph, cost: CostModel):
                 scanned = two.scanned_until(w, int(hits[0])) + nets_count
             else:
                 scanned = entries.size + nets_count
+            ctx.count_checks(int(scanned))
             ctx.charge_mem(int(scanned) * edge)
             ctx.charge_cpu(int(scanned) * forbid)
 
@@ -163,6 +168,7 @@ def make_vertex_removal_kernel(bg: BipartiteGraph, cost: CostModel):
                 break  # early termination, as in the paper
         if conflict:
             ctx.append(w)
+        ctx.count_checks(touched)
         ctx.charge_mem(touched * edge)
         ctx.charge_cpu(touched * forbid)
 

@@ -79,6 +79,8 @@ def make_net_color_kernel(g: Graph, cost: CostModel, policy=None):
                 ctx.write(u, col)
                 steps += more
 
+        ctx.count_scans(int(group.size))
+        ctx.count_probes(steps)
         ctx.charge_mem(group.size * edge + int(local.size) * write)
         ctx.charge_cpu((group.size + steps) * forbid)
 
@@ -110,6 +112,7 @@ def make_net_removal_kernel(g: Graph, cost: CostModel):
                 for pos in colored_pos[~keep]:
                     ctx.write(int(group[pos]), UNCOLORED)
                     resets += 1
+        ctx.count_checks(int(group.size))
         ctx.charge_mem(group.size * edge + resets * write)
         ctx.charge_cpu(group.size * forbid)
 

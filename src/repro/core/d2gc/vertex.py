@@ -59,6 +59,8 @@ def make_vertex_color_kernel(g: Graph, policy, cost: CostModel):
             touched = entries.size + 1
             col, steps = policy.choose(forb, w, ctx.thread_state)
             ctx.write(w, col)
+            ctx.count_scans(int(touched))
+            ctx.count_probes(steps)
             ctx.charge_mem(int(touched) * edge + write)
             ctx.charge_cpu((int(touched) + steps) * forbid)
 
@@ -80,6 +82,8 @@ def make_vertex_color_kernel(g: Graph, policy, cost: CostModel):
             touched += ring2.size
         col, steps = policy.choose(forb, w, ctx.thread_state)
         ctx.write(w, col)
+        ctx.count_scans(touched)
+        ctx.count_probes(steps)
         ctx.charge_mem(touched * edge + write)
         ctx.charge_cpu((touched + steps) * forbid)
 
@@ -115,6 +119,7 @@ def make_vertex_removal_kernel(g: Graph, cost: CostModel):
                 scanned = two.scanned_until(w, int(hits[0])) + 1
             else:
                 scanned = entries.size + 1
+            ctx.count_checks(int(scanned))
             ctx.charge_mem(int(scanned) * edge)
             ctx.charge_cpu(int(scanned) * forbid)
 
@@ -143,6 +148,7 @@ def make_vertex_removal_kernel(g: Graph, cost: CostModel):
                         break
         if conflict:
             ctx.append(w)
+        ctx.count_checks(touched)
         ctx.charge_mem(touched * edge)
         ctx.charge_cpu(touched * forbid)
 

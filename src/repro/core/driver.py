@@ -160,12 +160,14 @@ def run_sequential(
     no races).  ``tracer`` hooks the single pass into :mod:`repro.obs`.
     """
     from repro.obs.tracer import ensure_tracer
+    from repro.obs.work import WorkCounters
 
     tracer = ensure_tracer(tracer)
     machine = Machine(1, cost, tracer=tracer)
     colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
     memory = machine.make_memory(colors)
     kernel = adapter.make_vertex_color_kernel(policy if policy is not None else FirstFit())
+    run_work = WorkCounters()
     with tracer.span("run", algorithm=name, backend="sim", threads=1) as run_span:
         with tracer.span(
             "phase", iteration=0, phase=PhaseKind.COLOR, kind="vertex"
@@ -176,8 +178,11 @@ def run_sequential(
                 memory,
                 schedule=Schedule.static(),
                 phase_kind=PhaseKind.COLOR,
+                work=run_work,
             )
             phase_span.set(items=timing.tasks, cycles=timing.cycles)
+        if tracer.enabled:
+            run_work.emit(tracer, iteration=0, phase=PhaseKind.COLOR, kind="vertex")
         final = memory.snapshot()
         run_span.set(
             iterations=1,
@@ -199,4 +204,5 @@ def run_sequential(
         algorithm=name,
         threads=1,
         cycles=machine.trace.total_cycles,
+        work_metrics=run_work.as_dict(),
     )

@@ -53,6 +53,7 @@ import numpy as np
 from repro.errors import ColoringError
 from repro.graph.csr import CSR
 from repro.obs.tracer import NULL_TRACER, ensure_tracer
+from repro.obs.work import WorkCounters
 from repro.types import IterationRecord, UNCOLORED
 
 __all__ = ["FASTPATH_MODES", "GroupLayout", "run_fastpath"]
@@ -126,7 +127,27 @@ class GroupLayout:
         self.prefix_len = order - gptr[self.tgroups]
 
 
-def _color_exact(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
+def _emit_round_work(tracer, work: WorkCounters | None, rounds: int, mode: str,
+                     tasks: int, scans: int, checks: int, pushes: int,
+                     writes: int) -> None:
+    """Record one vectorized round's work deltas (counter parity with the
+    per-task backends: a "task" here is one vertex processed by the round's
+    whole-array pass)."""
+    if work is None and not tracer.enabled:
+        return
+    delta = WorkCounters()
+    delta.tasks = tasks
+    delta.scans = scans
+    delta.conflict_checks = checks
+    delta.queue_pushes = pushes
+    delta.color_writes = writes
+    if work is not None:
+        work.merge(delta)
+    if tracer.enabled:
+        delta.emit(tracer, iteration=rounds, mode=mode)
+
+
+def _color_exact(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER, work=None):
     """Level-synchronous rounds; byte-identical to sequential greedy.
 
     Invariant: a vertex is frontier exactly when every uncolored member of
@@ -190,6 +211,11 @@ def _color_exact(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
         # First-fit colors are introduced in order (the used set is always a
         # prefix of 0..cmax), so palette growth is exactly the cmax delta.
         introduced = cmax - cmax_before
+        _emit_round_work(
+            tracer, work, rounds, "exact",
+            tasks=int(F.size), scans=int(mem.size), checks=0,
+            pushes=0, writes=int(F.size),
+        )
         round_wall = time.perf_counter() - t_round
         records.append(
             IterationRecord(
@@ -225,7 +251,7 @@ def _color_exact(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
     return colors.astype(np.int64), records
 
 
-def _color_speculative(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
+def _color_speculative(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER, work=None):
     """Optimistic rounds: rank-offset first fit + net-based detection."""
     from scipy import sparse
 
@@ -303,6 +329,12 @@ def _color_speculative(lay: GroupLayout, max_rounds: int, tracer=NULL_TRACER):
         committed_max = int(colors.max(initial=-1)) if n else -1
         introduced = max(0, committed_max + 1 - palette)
         palette = max(palette, committed_max + 1)
+        _emit_round_work(
+            tracer, work, rounds, "speculative",
+            tasks=int(queue.size), scans=int(unc_entry.sum()),
+            checks=int(tv.size), pushes=int(losers.size),
+            writes=int(queue.size) + int(losers.size),
+        )
         round_wall = time.perf_counter() - t_round
         records.append(
             IterationRecord(
@@ -337,6 +369,7 @@ def run_fastpath(
     mode: str = "exact",
     max_rounds: int | None = None,
     tracer=None,
+    work=None,
 ):
     """Color the vertices of a groups CSR with whole-array NumPy passes.
 
@@ -358,6 +391,12 @@ def run_fastpath(
         :class:`GroupLayout` build and one ``round`` span per vectorized
         round (queue size, conflicts, palette growth, wall seconds).
         ``None`` (default) is the zero-overhead null tracer.
+    work:
+        Optional :class:`repro.obs.work.WorkCounters` accumulating the
+        run's deterministic work totals (one "task" per vertex processed
+        by a round's whole-array pass; probes stay 0 — the vectorized
+        first fit has no per-color cursor).  ``None`` skips the
+        bookkeeping.
 
     Returns
     -------
@@ -377,5 +416,5 @@ def run_fastpath(
         setup_span.set(vertices=lay.n, groups=lay.n_groups, entries=int(lay.gidx.size))
     bound = max_rounds if max_rounds is not None else lay.n + 1
     if mode == "exact":
-        return _color_exact(lay, bound, tracer)
-    return _color_speculative(lay, bound, tracer)
+        return _color_exact(lay, bound, tracer, work)
+    return _color_speculative(lay, bound, tracer, work)

@@ -281,8 +281,12 @@ def run_chunk(args: tuple) -> tuple:
     in the shared color segment immediately — real cross-process races —
     and queue appends are returned to the parent for the barrier merge.
 
-    Returns ``(pid, tasks_done, appends)``.
+    Returns ``(pid, tasks_done, appends, work_dict)`` where ``work_dict``
+    is the chunk's deterministic operation counts (see
+    :mod:`repro.obs.work`), merged phase-wide by the parent engine.
     """
+    from repro.obs.work import WorkCounters
+
     state = _STATE
     if state is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("process worker used before init_worker")
@@ -291,6 +295,7 @@ def run_chunk(args: tuple) -> tuple:
     kernel = state.kernel(phase_key)
     ctx = state.ctx
     colors = state.colors
+    meter = WorkCounters()
     # tolist() bulk-converts to Python ints in C — cheaper than a per-task
     # int() on numpy scalars in the hot loop.
     task_source = state.work[lo:hi].tolist() if use_work else range(lo, hi)
@@ -302,8 +307,9 @@ def run_chunk(args: tuple) -> tuple:
         for where, value in ctx.writes:
             colors[where] = value
         appends.extend(ctx.appends)
+        meter.add_task(ctx)
     state.chunks_done += 1
-    return os.getpid(), hi - lo, appends
+    return os.getpid(), hi - lo, appends, meter.as_dict()
 
 
 def run_batch(chunks: list) -> tuple:
@@ -314,12 +320,16 @@ def run_batch(chunks: list) -> tuple:
     shipping a batch per message divides dispatch and result-pickling
     round-trips by the batch factor, which dominates on small phases.
 
-    Returns ``(pid, tasks_done, appends)`` summed over the batch.
+    Returns ``(pid, tasks_done, appends, work_dict)`` summed over the batch.
     """
+    from repro.obs.work import WorkCounters
+
     done = 0
     appends: list[int] = []
+    meter = WorkCounters()
     for chunk in chunks:
-        _, chunk_done, chunk_appends = run_chunk(chunk)
+        _, chunk_done, chunk_appends, chunk_work = run_chunk(chunk)
         done += chunk_done
         appends.extend(chunk_appends)
-    return os.getpid(), done, appends
+        meter.merge(chunk_work)
+    return os.getpid(), done, appends, meter.as_dict()

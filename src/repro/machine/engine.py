@@ -59,6 +59,13 @@ class TaskContext:
         Dict that persists across all tasks run by this thread within the
         current coloring run — used by the B1/B2 heuristics for their
         thread-private ``colmax`` / ``colnext``.
+    probes / scans / conflict_checks:
+        Deterministic work-metric counts for this task (see
+        :mod:`repro.obs.work`): forbidden-set probe steps, adjacency
+        entries touched while coloring, and entries examined during
+        conflict detection.  Kernels record them with :meth:`count_probes`
+        / :meth:`count_scans` / :meth:`count_checks`; engines fold them
+        into per-phase :class:`~repro.obs.work.WorkCounters`.
     """
 
     __slots__ = (
@@ -69,6 +76,9 @@ class TaskContext:
         "appends",
         "cpu",
         "mem",
+        "probes",
+        "scans",
+        "conflict_checks",
     )
 
     def __init__(self) -> None:
@@ -79,6 +89,9 @@ class TaskContext:
         self.appends: list[int] = []
         self.cpu = 0
         self.mem = 0
+        self.probes = 0
+        self.scans = 0
+        self.conflict_checks = 0
 
     def reset(self, colors, thread_id: int, thread_state: dict) -> None:
         self.colors = colors
@@ -88,6 +101,9 @@ class TaskContext:
         self.appends.clear()
         self.cpu = 0
         self.mem = 0
+        self.probes = 0
+        self.scans = 0
+        self.conflict_checks = 0
 
     def write(self, index: int, value: int) -> None:
         """Buffer a color write; commits at this task's end cycle."""
@@ -103,6 +119,18 @@ class TaskContext:
     def charge_mem(self, cycles: int) -> None:
         self.mem += cycles
 
+    def count_probes(self, n: int) -> None:
+        """Record ``n`` forbidden-set probe steps (work metric)."""
+        self.probes += n
+
+    def count_scans(self, n: int) -> None:
+        """Record ``n`` adjacency entries touched while coloring."""
+        self.scans += n
+
+    def count_checks(self, n: int) -> None:
+        """Record ``n`` entries examined during conflict detection."""
+        self.conflict_checks += n
+
 
 def run_parallel_for(
     n_tasks: int,
@@ -116,6 +144,7 @@ def run_parallel_for(
     phase_kind: str = "color",
     task_ids=None,
     tracer=None,
+    work=None,
 ) -> tuple[PhaseTiming, list[int]]:
     """Simulate one parallel-for phase and return its timing and queue.
 
@@ -139,6 +168,10 @@ def run_parallel_for(
         Optional :class:`repro.obs.Tracer`; when given (and enabled), the
         phase's simulated cycle count is emitted as a
         ``machine.phase_cycles`` counter with kind/tasks/threads attributes.
+    work:
+        Optional :class:`repro.obs.work.WorkCounters`; every finished
+        task's deterministic operation counts (probes, scans, queue pushes,
+        color writes — see :mod:`repro.obs.work`) are folded into it.
 
     Returns
     -------
@@ -204,6 +237,8 @@ def run_parallel_for(
         ctx.reset(memory.values, tid, states[tid])
         kernel(task_id, ctx)
         executed += 1
+        if work is not None:
+            work.add_task(ctx)
 
         cycles = cost.task_overhead + ctx.cpu + cost.inflate_memory(ctx.mem, threads)
         if ctx.appends:

@@ -80,12 +80,15 @@ class Machine:
         phase_kind: str = "color",
         task_ids=None,
         extra_wall: int = 0,
+        work=None,
     ) -> tuple[PhaseTiming, list[int]]:
         """Run one parallel-for phase; record and return its timing.
 
         ``extra_wall`` adds fixed cycles to the phase wall-clock — used by
         runners to account for auxiliary vectorizable sweeps (e.g. collecting
         the uncolored vertices after a net-based conflict removal).
+        ``work`` is an optional :class:`repro.obs.work.WorkCounters` that
+        accumulates the phase's deterministic operation counts.
         """
         timing, queue = run_parallel_for(
             n_tasks=n_tasks,
@@ -98,6 +101,7 @@ class Machine:
             thread_states=self._thread_states,
             phase_kind=phase_kind,
             task_ids=task_ids,
+            work=work,
         )
         if extra_wall:
             timing = PhaseTiming(

@@ -46,19 +46,26 @@ class ThreadedExecutor:
         colors: np.ndarray,
         chunk: int = 64,
         task_ids=None,
+        work=None,
     ) -> list[int]:
         """Run ``kernel`` over ``n_tasks`` tasks on real threads.
 
         Returns the merged queue appends (thread order).  ``colors`` is
-        mutated in place.
+        mutated in place.  ``work`` is an optional
+        :class:`repro.obs.work.WorkCounters` accumulating the phase's
+        operation counts (each thread counts privately; the per-thread
+        totals are merged in thread-id order at the join — deterministic
+        only with one thread, since races change the counts).
         """
         lock = threading.Lock()
         counter = [0]
         queues: list[list[int]] = [[] for _ in range(self.threads)]
         errors: list[BaseException] = []
+        local_work = [None if work is None else type(work)() for _ in range(self.threads)]
 
         def worker(tid: int) -> None:
             ctx = TaskContext()
+            meter = local_work[tid]
             try:
                 while True:
                     with lock:
@@ -75,6 +82,8 @@ class ThreadedExecutor:
                         for where, value in ctx.writes:
                             colors[where] = value
                         queues[tid].extend(ctx.appends)
+                        if meter is not None:
+                            meter.add_task(ctx)
             except BaseException as exc:  # pragma: no cover - surfaced below
                 errors.append(exc)
 
@@ -88,4 +97,7 @@ class ThreadedExecutor:
             w.join()
         if errors:
             raise errors[0]
+        if work is not None:
+            for meter in local_work:
+                work.merge(meter)
         return [item for q in queues for item in q]

@@ -25,6 +25,7 @@ from repro.obs.tracer import (
     ensure_tracer,
     read_jsonl_trace,
 )
+from repro.obs.work import WORK_METRICS, WorkCounters
 
 __all__ = [
     "TraceEvent",
@@ -37,4 +38,6 @@ __all__ = [
     "read_jsonl_trace",
     "iteration_breakdown",
     "profile_table",
+    "WORK_METRICS",
+    "WorkCounters",
 ]

@@ -30,6 +30,9 @@ name                      type     emitted by
 ``round``                 span     one per vectorized round (fastpath)
 ``setup``                 span     fastpath :class:`~repro.core.fastpath.engine.GroupLayout` build
 ``machine.phase_cycles``  counter  simulated cycles of one ``parallel_for``
+``work.<metric>``         counter  deterministic work totals of one phase or
+                                   vectorized round, one event per metric in
+                                   :data:`repro.obs.work.WORK_METRICS`
 ========================  =======  ==========================================
 """
 

@@ -138,6 +138,14 @@ class ColoringResult:
     wall_seconds:
         Measured host wall-clock of the run for the NumPy backend; 0.0
         for simulator runs, whose currency is ``cycles``.
+    work_metrics:
+        Deterministic work counters accumulated over the whole run —
+        mapping metric name (see :data:`repro.obs.work.WORK_METRICS`) to
+        a non-negative total.  Empty for runs produced before the
+        counters existed (e.g. loaded from old archives).  Machine-count
+        metrics, not timings: identical across re-runs of the same
+        deterministic configuration, which is what the perf-regression
+        gate (``python -m repro.bench regress``) compares.
     """
 
     colors: IntArray
@@ -148,6 +156,7 @@ class ColoringResult:
     cycles: float = 0.0
     backend: str = "sim"
     wall_seconds: float = 0.0
+    work_metrics: dict[str, int] = field(default_factory=dict)
 
     @property
     def num_iterations(self) -> int:

@@ -292,3 +292,64 @@ class TestProfileTables:
         rows = iteration_report(result, label="N1-N2/sim")
         assert all(row[0] == "N1-N2/sim" for row in rows)
         assert len(rows) == result.num_iterations + 1  # + total row
+
+
+class TestWorkMetrics:
+    """``work.<metric>`` counters and ``ColoringResult.work_metrics``."""
+
+    def test_sim_counters_match_result_totals(self, bg):
+        from repro.obs import WORK_METRICS
+
+        tracer = RecordingTracer()
+        result = color_bgpc(bg, algorithm="N1-N2", threads=8, tracer=tracer)
+        assert set(result.work_metrics) == set(WORK_METRICS)
+        for metric in WORK_METRICS:
+            assert tracer.total(f"work.{metric}") == result.work_metrics[metric]
+        # A speculative run always does real work in these buckets.
+        assert result.work_metrics["tasks"] > 0
+        assert result.work_metrics["probes"] > 0
+        assert result.work_metrics["scans"] > 0
+        assert result.work_metrics["conflict_checks"] > 0
+        assert result.work_metrics["color_writes"] >= result.colors.size
+
+    def test_work_events_carry_phase_attrs(self, bg):
+        tracer = RecordingTracer()
+        color_bgpc(bg, algorithm="N1-N2", threads=8, tracer=tracer)
+        events = tracer.counters("work.tasks")
+        assert events, "no work.tasks counters emitted"
+        for ev in events:
+            assert ev.attrs["phase"] in ("color", "remove")
+            assert ev.attrs["kind"] in ("vertex", "net")
+            assert ev.attrs["iteration"] >= 0
+
+    def test_numpy_backend_attaches_work_metrics(self, bg):
+        from repro.obs import WORK_METRICS
+
+        tracer = RecordingTracer()
+        result = color_bgpc(
+            bg, backend="numpy", fastpath_mode="speculative", tracer=tracer
+        )
+        assert set(result.work_metrics) == set(WORK_METRICS)
+        assert result.work_metrics["tasks"] >= result.colors.size
+        for metric in WORK_METRICS:
+            assert tracer.total(f"work.{metric}") == result.work_metrics[metric]
+
+    def test_sequential_baseline_counts_work(self, bg):
+        result = sequential_bgpc(bg)
+        assert result.work_metrics["tasks"] == bg.num_vertices
+        assert result.work_metrics["color_writes"] == bg.num_vertices
+        assert result.work_metrics["conflict_checks"] == 0
+
+    def test_d2gc_counters(self, g):
+        tracer = RecordingTracer()
+        result = color_d2gc(g, algorithm="N1-N2", threads=8, tracer=tracer)
+        assert result.work_metrics["scans"] > 0
+        assert tracer.total("work.scans") == result.work_metrics["scans"]
+
+    def test_threaded_and_process_single_worker_match_sim(self, bg):
+        """One-worker threaded/process runs follow the same schedule as the
+        simulator's task order, so their work totals must agree with a
+        single-thread sim run."""
+        sim = color_bgpc(bg, algorithm="N1-N2", threads=1).work_metrics
+        thr = color_bgpc(bg, algorithm="N1-N2", threads=1, backend="threaded").work_metrics
+        assert thr == sim

@@ -17,13 +17,12 @@ import time
 from repro.bench.experiments import ALL_EXPERIMENTS
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiments and print/export their tables."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "regress":
-        from repro.bench.regress.cli import main as regress_main
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro.bench``.
 
-        return regress_main(argv[1:])
+    The ``regress`` subcommand is dispatched before this parser runs; its
+    own parser lives in :func:`repro.bench.regress.cli.build_parser`.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -61,6 +60,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="render terminal charts for the figure experiments",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print/export their tables."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "regress":
+        from repro.bench.regress.cli import main as regress_main
+
+        return regress_main(argv[1:])
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in ALL_EXPERIMENTS]

@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     manycore,
     profile,
     scaling,
+    serve,
 )
 
 ALL_EXPERIMENTS = {
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = {
     "manycore": manycore.run,
     "profile": profile.run,
     "scaling": scaling.run,
+    "serve": serve.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -31,8 +31,13 @@ from repro.bench.regress.compare import (
 )
 from repro.bench.regress.store import RegressError, collect, load, save
 from repro.bench.regress.suite import default_suite, select_cases
+from repro.obs.work import WORK_METRICS
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main", "INJECTABLE_METRICS"]
+
+#: Every metric name the store can carry, and thus --inject can touch:
+#: the deterministic work counters plus the behavioral/simulated extras.
+INJECTABLE_METRICS = WORK_METRICS + ("num_colors", "iterations", "cycles")
 
 
 def _advisory_table(advisory: dict[str, float]) -> str:
@@ -43,7 +48,8 @@ def _advisory_table(advisory: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro.bench regress``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench regress",
         description="Deterministic work-metric regression gate.",
@@ -82,7 +88,29 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true",
         help="itemize in-band metrics in the delta table too",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
+
+    injection = None
+    if args.inject is not None:
+        # Validate up front: a typo'd metric name must fail fast with the
+        # valid names, not after the (expensive) collection has run.
+        try:
+            injection = parse_injection(args.inject)
+        except RegressError as exc:
+            print(f"regress: {exc}", file=sys.stderr)
+            return 2
+        if injection[0] not in INJECTABLE_METRICS:
+            print(
+                f"regress: unknown metric {injection[0]!r} in --inject; "
+                f"choose from {list(INJECTABLE_METRICS)}",
+                file=sys.stderr,
+            )
+            return 2
 
     cases = select_cases(default_suite(), args.cases)
     if args.list:
@@ -107,9 +135,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"regress: {exc}", file=sys.stderr)
         return 1
 
-    if args.inject is not None:
+    if injection is not None:
+        metric, factor = injection
         try:
-            metric, factor = parse_injection(args.inject)
             touched = inject(current, metric, factor)
         except RegressError as exc:
             print(f"regress: {exc}", file=sys.stderr)

@@ -1,0 +1,34 @@
+"""Distributed and hybrid BGPC: the lineage around the paper.
+
+The shared-memory algorithms reproduced in :mod:`repro.core` descend from a
+distributed-memory superstep framework (Bozdağ et al.) and sit next to
+hybrid MPI+multicore implementations by the same authors.  This package
+models both flavours on top of the repository's primitives:
+
+* :func:`distributed_bgpc` — partitioned speculative coloring in batched
+  bulk-synchronous supersteps, costed by :class:`ClusterModel`;
+* :func:`hybrid_bgpc` — ranks of kernel-level multicore engines (intra-rank
+  races plus cross-rank speculation, one resolver);
+* :func:`partition_contiguous` / :func:`partition_random` /
+  :func:`partition_bfs` — the owner arrays that decide the boundary size.
+"""
+
+from repro.dist.hybrid import hybrid_bgpc
+from repro.dist.mpi import ClusterModel, SuperstepStats
+from repro.dist.partition import (
+    partition_bfs,
+    partition_contiguous,
+    partition_random,
+)
+from repro.dist.superstep import DistributedResult, distributed_bgpc
+
+__all__ = [
+    "ClusterModel",
+    "SuperstepStats",
+    "DistributedResult",
+    "distributed_bgpc",
+    "hybrid_bgpc",
+    "partition_bfs",
+    "partition_contiguous",
+    "partition_random",
+]

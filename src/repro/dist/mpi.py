@@ -1,0 +1,127 @@
+"""A BSP-style cluster cost model for the distributed BGPC framework.
+
+The shared-memory algorithms of the paper descend from a distributed-memory
+superstep framework (Bozdağ et al.): ranks color their local vertices, then
+exchange boundary colors in a bulk-synchronous round.  :class:`ClusterModel`
+charges those rounds with the classic alpha-beta model — per-message latency
+``alpha``, per-word bandwidth cost ``beta``, plus a flat ``sync_cycles``
+barrier — and keeps running aggregates so a whole run can be summarized.
+
+The model is *observational*: :func:`repro.dist.distributed_bgpc` computes
+the same colors no matter what a superstep is charged; only the reported
+``cycles`` change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterModel", "SuperstepStats"]
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """Accounting of one bulk-synchronous superstep.
+
+    Attributes
+    ----------
+    compute_cycles:
+        Slowest rank's local compute (the barrier waits for it).
+    comm_cycles:
+        Busiest rank's exchange cost, ``alpha * messages + beta * words``,
+        plus the synchronization barrier.
+    words:
+        Total words exchanged across all ranks.
+    messages:
+        Total messages sent across all ranks.
+    wall:
+        ``compute_cycles + comm_cycles`` — what the superstep costs end to
+        end.
+    """
+
+    compute_cycles: float
+    comm_cycles: float
+    words: int
+    messages: int
+    wall: float
+
+
+class ClusterModel:
+    """Alpha-beta cost model of a ``ranks``-node cluster.
+
+    Parameters
+    ----------
+    ranks:
+        Number of ranks (>= 1).
+    alpha:
+        Per-message latency in cycles.
+    beta:
+        Per-word transfer cost in cycles.
+    sync_cycles:
+        Flat cost of the barrier closing each superstep.
+    """
+
+    def __init__(
+        self,
+        ranks: int,
+        alpha: float = 1000.0,
+        beta: float = 4.0,
+        sync_cycles: float = 200.0,
+    ):
+        if ranks < 1:
+            raise ValueError(f"ClusterModel needs ranks >= 1, got {ranks}")
+        self.ranks = ranks
+        self.alpha = alpha
+        self.beta = beta
+        self.sync_cycles = sync_cycles
+        self.num_supersteps = 0
+        self.total_cycles = 0.0
+        self.total_compute = 0.0
+        self.total_words = 0
+        self.total_messages = 0
+
+    def superstep(self, compute, words=None, messages=None) -> SuperstepStats:
+        """Charge one superstep and fold it into the running aggregates.
+
+        ``compute``, ``words`` and ``messages`` are per-rank lists of local
+        compute cycles, words announced and messages sent; omitted comm
+        lists default to zero.  Lists of the wrong length raise
+        :class:`ValueError`.
+        """
+        compute = list(compute)
+        words = [0] * self.ranks if words is None else list(words)
+        messages = [0] * self.ranks if messages is None else list(messages)
+        for label, seq in (("compute", compute), ("words", words),
+                           ("messages", messages)):
+            if len(seq) != self.ranks:
+                raise ValueError(
+                    f"superstep {label} list has {len(seq)} entries for "
+                    f"{self.ranks} ranks"
+                )
+        compute_cycles = max(compute) if compute else 0.0
+        comm_cycles = (
+            max(
+                self.alpha * m + self.beta * w
+                for m, w in zip(messages, words)
+            )
+            + self.sync_cycles
+        )
+        stats = SuperstepStats(
+            compute_cycles=compute_cycles,
+            comm_cycles=comm_cycles,
+            words=int(sum(words)),
+            messages=int(sum(messages)),
+            wall=compute_cycles + comm_cycles,
+        )
+        self.num_supersteps += 1
+        self.total_cycles += stats.wall
+        self.total_compute += sum(compute)
+        self.total_words += stats.words
+        self.total_messages += stats.messages
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterModel(ranks={self.ranks}, alpha={self.alpha}, "
+            f"beta={self.beta}, sync_cycles={self.sync_cycles})"
+        )

@@ -17,6 +17,7 @@ __all__ = [
     "MachineError",
     "SchedulerError",
     "DatasetError",
+    "ServiceError",
 ]
 
 
@@ -68,3 +69,13 @@ class SchedulerError(MachineError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """A coloring-service request was malformed or could not be served.
+
+    Raised by the protocol parser on bad wire payloads and by
+    :class:`repro.service.ColoringService` on invalid request parameters;
+    the server turns it into an error *response* instead of dropping the
+    connection.
+    """

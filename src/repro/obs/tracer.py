@@ -33,6 +33,13 @@ name                      type     emitted by
 ``work.<metric>``         counter  deterministic work totals of one phase or
                                    vectorized round, one event per metric in
                                    :data:`repro.obs.work.WORK_METRICS`
+``cache.hit``             counter  coloring-service cache hit (attr ``key``)
+``cache.miss``            counter  coloring-service cache miss (attr ``key``)
+``cache.eviction``        counter  coloring-service LRU eviction (attr ``key``)
+``service.request``       counter  one served request (attrs ``backend``,
+                                   ``cached``, ``coalesced``)
+``service.batch``         counter  dispatcher batch size (value = requests
+                                   dispatched together)
 ========================  =======  ==========================================
 """
 

@@ -1,0 +1,180 @@
+"""Run the coloring service as a long-lived TCP server.
+
+Usage::
+
+    python -m repro.serve --port 4077
+    python -m repro.serve --backend process --threads 4 --cache-size 256
+    python -m repro.serve --port 0 --trace serve.jsonl
+
+Speaks the newline-delimited JSON protocol in
+:mod:`repro.service.protocol` (one request object per line, one response
+line per request; see ``docs/service.md``).  ``--port 0`` binds a free
+port and prints the actual one.  A ``shutdown`` request — or Ctrl-C —
+stops the server cleanly; ``--trace`` streams ``cache.*`` and
+``service.*`` counter events to a JSONL file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.core.backends import backend_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro.serve``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve BGPC coloring requests over newline-delimited "
+        "JSON, with request dedup, micro-batching and an LRU result cache "
+        "(see docs/service.md).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=4077,
+        help="TCP port; 0 picks a free one and prints it (default 4077)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="pin every unpinned request to this backend instead of "
+        "routing by graph size (default: route small graphs to numpy, "
+        "large ones to process); see docs/backends.md",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="default thread/worker count for requests that do not set "
+        "their own (default 1)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        help="LRU result-cache capacity in entries; 0 disables caching "
+        "(default 128)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="most queued requests dispatched concurrently per batch "
+        "(default 8)",
+    )
+    parser.add_argument(
+        "--edge-threshold",
+        type=int,
+        default=None,
+        help="bipartite-edge count at which the size router switches from "
+        "the numpy to the process backend (default 50000; ignored with "
+        "--backend)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream cache.* / service.* counter events to FILE as JSON "
+        "lines; see docs/observability.md",
+    )
+    return parser
+
+
+async def _serve(args, tracer) -> int:
+    from repro.service import ColoringServer, ColoringService, SizeRouter
+
+    router = (
+        SizeRouter(edge_threshold=args.edge_threshold)
+        if args.edge_threshold is not None
+        else None
+    )
+    service = ColoringService(
+        backend=args.backend,
+        threads=args.threads,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        router=router,
+        tracer=tracer,
+    )
+    server = ColoringServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(f"serving on {server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.close()
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"served {stats['requests']} requests: {stats['executed']} executed, "
+        f"{cache['hits']} cache hits, {stats['coalesced']} coalesced, "
+        f"{stats['errors']} errors",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    from repro.errors import ReproError
+
+    if args.threads < 1:
+        print(f"error: --threads must be >= 1, got {args.threads}",
+              file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print(f"error: --cache-size must be >= 0, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print(f"error: --max-batch must be >= 1, got {args.max_batch}",
+              file=sys.stderr)
+        return 2
+    if args.edge_threshold is not None and args.edge_threshold < 0:
+        print(
+            f"error: --edge-threshold must be >= 0, got "
+            f"{args.edge_threshold}",
+            file=sys.stderr,
+        )
+        return 2
+
+    tracer = None
+    try:
+        if args.trace:
+            from repro.obs import JsonlTracer
+
+            try:
+                tracer = JsonlTracer(args.trace)
+            except OSError as exc:
+                print(f"error: cannot write trace {args.trace}: {exc}",
+                      file=sys.stderr)
+                return 2
+        try:
+            return asyncio.run(_serve(args, tracer))
+        except KeyboardInterrupt:
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. the port is taken or the bind address is bogus.
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

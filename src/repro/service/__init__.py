@@ -1,0 +1,44 @@
+"""The BGPC coloring service: cache, router, batching, NDJSON server.
+
+This package turns the one-shot coloring pipeline into a long-lived
+front end (see ``docs/service.md``):
+
+* :mod:`repro.service.fingerprint` — canonical CSR content fingerprints
+  and full request keys;
+* :mod:`repro.service.cache` — LRU result cache with traced
+  hit/miss/eviction counters;
+* :mod:`repro.service.router` — size-threshold backend routing for
+  unpinned requests;
+* :mod:`repro.service.service` — the in-process async
+  :class:`ColoringService` (dedup, coalescing, micro-batching, work
+  accounting);
+* :mod:`repro.service.protocol` / :mod:`repro.service.server` — the
+  newline-delimited JSON wire protocol and its asyncio server
+  (``python -m repro.serve``);
+* :mod:`repro.service.client` — a blocking socket client for tests,
+  examples and CI.
+"""
+
+from repro.service.cache import ColoringCache
+from repro.service.client import ServiceClient
+from repro.service.fingerprint import graph_fingerprint, request_key
+from repro.service.router import DEFAULT_EDGE_THRESHOLD, SizeRouter
+from repro.service.server import ColoringServer
+from repro.service.service import (
+    ColoringRequest,
+    ColoringService,
+    ServiceResponse,
+)
+
+__all__ = [
+    "DEFAULT_EDGE_THRESHOLD",
+    "ColoringCache",
+    "ColoringRequest",
+    "ColoringServer",
+    "ColoringService",
+    "ServiceClient",
+    "ServiceResponse",
+    "SizeRouter",
+    "graph_fingerprint",
+    "request_key",
+]

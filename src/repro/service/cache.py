@@ -1,0 +1,95 @@
+"""LRU cache of :class:`~repro.types.ColoringResult` by request key.
+
+The service's core economy: a coloring is deterministic given its request
+key (see :mod:`repro.service.fingerprint`), so serving a repeat from cache
+costs zero backend work.  The cache is a plain ``OrderedDict`` LRU —
+bounded entries, hit refreshes recency, insert beyond capacity evicts the
+least recently used — with hit/miss/eviction counters kept locally *and*
+emitted through the :class:`~repro.obs.tracer.Tracer` protocol as
+``cache.hit`` / ``cache.miss`` / ``cache.eviction`` counter events, so a
+recorded trace of a served workload shows exactly which requests paid.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs.tracer import ensure_tracer
+from repro.types import ColoringResult
+
+__all__ = ["ColoringCache"]
+
+
+class ColoringCache:
+    """Bounded LRU mapping request keys to coloring results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached results; ``0`` disables caching entirely
+        (every lookup misses, nothing is stored).
+    tracer:
+        Optional tracer receiving ``cache.hit`` / ``cache.miss`` /
+        ``cache.eviction`` counter events (key attached as an attribute).
+    """
+
+    def __init__(self, capacity: int = 128, tracer=None):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.tracer = ensure_tracer(tracer)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, ColoringResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> ColoringResult | None:
+        """The cached result for ``key`` (refreshing recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if self.tracer.enabled:
+                self.tracer.counter("cache.miss", 1, key=key)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if self.tracer.enabled:
+            self.tracer.counter("cache.hit", 1, key=key)
+        return entry
+
+    def put(self, key: str, result: ColoringResult) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries beyond capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.counter("cache.eviction", 1, key=evicted)
+
+    def keys(self) -> list[str]:
+        """Cached keys from least to most recently used."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot: size, capacity, hits, misses, evictions."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,88 @@
+"""Blocking socket client for the coloring server.
+
+:class:`ServiceClient` is the test/CI/example counterpart of
+:class:`~repro.service.server.ColoringServer`: a plain synchronous socket
+speaking one JSON line per request.  It needs no asyncio on the caller's
+side, which keeps examples and the CI smoke driver honest — they exercise
+the server over a real TCP connection exactly as an external client would.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ServiceError
+from repro.graph.bipartite import BipartiteGraph
+from repro.service.protocol import encode, graph_to_wire
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous NDJSON client; usable as a context manager.
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the decoded response object."""
+        self._sock.sendall(encode(payload))
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    def raw_request(self, line: bytes) -> dict:
+        """Send pre-encoded bytes verbatim (for malformed-input tests)."""
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._sock.sendall(line)
+        response = self._file.readline()
+        if not response:
+            raise ServiceError("server closed the connection")
+        return json.loads(response)
+
+    def color(self, graph, **options) -> dict:
+        """Submit a ``color`` request.
+
+        ``graph`` may be a :class:`BipartiteGraph` (sent in CSR wire form)
+        or an already-encoded wire dict.  Keyword options (``algorithm``,
+        ``backend``, ``threads``, ``policy``, ``ordering``,
+        ``fastpath_mode``, ``id``) pass through to the request object.
+        """
+        wire = (
+            graph_to_wire(graph)
+            if isinstance(graph, BipartiteGraph)
+            else graph
+        )
+        return self.request({"op": "color", "graph": wire, **options})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

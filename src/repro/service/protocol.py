@@ -1,0 +1,145 @@
+"""The coloring service's newline-delimited JSON wire protocol.
+
+One request per line, one response line per request, in order.  A request
+is a JSON object with an ``op`` (default ``"color"``) and an optional
+``id`` the server echoes back:
+
+``color``
+    ``{"id": 1, "op": "color", "graph": {...}, "algorithm": "N1-N2",
+    "backend": null, "threads": 2, "policy": "U", "ordering": "natural",
+    "fastpath_mode": "exact"}`` — every field except ``graph`` is
+    optional; ``backend: null`` asks the size router to choose.
+``stats``
+    Service counters (requests, cache hits/misses/evictions, work totals).
+``ping``
+    Liveness probe.
+``shutdown``
+    Acknowledge, then stop the server loop cleanly.
+
+Graphs travel in one of two forms:
+
+* ``{"format": "csr", "ptr": [...], "idx": [...], "num_nets": N}`` — the
+  vertex→net CSR orientation;
+* ``{"format": "coo", "edges": [[u, v], ...], "num_vertices": M,
+  "num_nets": N}`` — ``(vertex, net)`` pairs (cardinalities optional,
+  inferred as max id + 1).
+
+Responses are ``{"id": ..., "ok": true, ...payload}`` on success and
+``{"id": ..., "ok": false, "error": "one-line message"}`` on failure; a
+malformed line gets an error *response* (id ``null``), never a dropped
+connection.  See ``docs/service.md`` for worked examples.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import GraphError, ServiceError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import bipartite_from_edges
+from repro.graph.csr import CSR
+
+__all__ = [
+    "OPS",
+    "encode",
+    "error_response",
+    "graph_from_wire",
+    "graph_to_wire",
+    "ok_response",
+    "parse_request",
+]
+
+#: Operations a request line may name.
+OPS = ("color", "stats", "ping", "shutdown")
+
+
+def parse_request(line: str | bytes) -> dict:
+    """Parse one request line into a validated request dict.
+
+    Raises :class:`~repro.errors.ServiceError` on malformed JSON, a
+    non-object payload, or an unknown ``op``.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"request is not valid UTF-8: {exc}") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op", "color")
+    if op not in OPS:
+        raise ServiceError(f"unknown op {op!r}; choose from {list(OPS)}")
+    payload["op"] = op
+    return payload
+
+
+def graph_from_wire(obj) -> BipartiteGraph:
+    """Build a :class:`BipartiteGraph` from its wire form.
+
+    Raises :class:`~repro.errors.ServiceError` on structural problems
+    (missing fields, inconsistent arrays, bad indices).
+    """
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            f"graph must be a JSON object, got {type(obj).__name__}"
+        )
+    fmt = obj.get("format", "csr")
+    try:
+        if fmt == "csr":
+            for field in ("ptr", "idx", "num_nets"):
+                if field not in obj:
+                    raise ServiceError(f"csr graph is missing {field!r}")
+            csr = CSR(
+                np.asarray(obj["ptr"], dtype=np.int64),
+                np.asarray(obj["idx"], dtype=np.int64),
+                int(obj["num_nets"]),
+            )
+            return BipartiteGraph.from_vtx_to_nets(csr)
+        if fmt == "coo":
+            if "edges" not in obj:
+                raise ServiceError("coo graph is missing 'edges'")
+            return bipartite_from_edges(
+                [(int(u), int(v)) for u, v in obj["edges"]],
+                num_vertices=obj.get("num_vertices"),
+                num_nets=obj.get("num_nets"),
+            )
+    except ServiceError:
+        raise
+    except (GraphError, TypeError, ValueError) as exc:
+        raise ServiceError(f"bad {fmt} graph: {exc}") from None
+    raise ServiceError(
+        f"unknown graph format {fmt!r}; choose from ['csr', 'coo']"
+    )
+
+
+def graph_to_wire(bg: BipartiteGraph) -> dict:
+    """The CSR wire form of ``bg`` (vertex→net orientation)."""
+    return {
+        "format": "csr",
+        "ptr": bg.vtx_to_nets.ptr.tolist(),
+        "idx": bg.vtx_to_nets.idx.tolist(),
+        "num_nets": bg.num_nets,
+    }
+
+
+def ok_response(request_id, **payload) -> dict:
+    """A success response echoing ``request_id``."""
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(request_id, message: str) -> dict:
+    """A failure response echoing ``request_id``; one-line message."""
+    return {"id": request_id, "ok": False, "error": str(message)}
+
+
+def encode(obj: dict) -> bytes:
+    """One response/request as a newline-terminated UTF-8 JSON line."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,85 @@
+"""Size-threshold backend routing for unpinned requests.
+
+A request may pin its backend explicitly; when it does not, the router
+picks from the :mod:`repro.core.backends` registry by instance size:
+
+* **small** graphs go to the vectorized ``numpy`` fast path — per-request
+  process-pool setup would dwarf the coloring itself;
+* **large** graphs (at least ``edge_threshold`` bipartite edges) go to the
+  shared-memory ``process`` pool, where true parallelism pays for its
+  setup;
+* requests using a balancing policy other than plain first-fit fall back
+  to the deterministic ``sim`` backend — the numpy engine supports only
+  first-fit, and routing must never change what a request computes.
+
+The decision is pure (graph size + request parameters in, backend name
+out), so routed keys stay deterministic and cacheable.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import backend_names
+from repro.errors import ServiceError
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["DEFAULT_EDGE_THRESHOLD", "SizeRouter"]
+
+#: Default boundary between "small" (numpy) and "large" (process) graphs,
+#: in bipartite edges.
+DEFAULT_EDGE_THRESHOLD = 50_000
+
+
+class SizeRouter:
+    """Route a request to a registered backend by instance size.
+
+    Parameters
+    ----------
+    edge_threshold:
+        Requests on graphs with at least this many edges route to
+        ``large_backend``; smaller ones to ``small_backend``.
+    small_backend / large_backend:
+        Registered backend names for the two size classes.
+    policy_backend:
+        Backend for non-first-fit policies (``B1``/``B2``), which the
+        vectorized fast path cannot run.
+    """
+
+    def __init__(
+        self,
+        edge_threshold: int = DEFAULT_EDGE_THRESHOLD,
+        small_backend: str = "numpy",
+        large_backend: str = "process",
+        policy_backend: str = "sim",
+    ):
+        if edge_threshold < 0:
+            raise ValueError(
+                f"edge_threshold must be >= 0, got {edge_threshold}"
+            )
+        self.edge_threshold = edge_threshold
+        self.small_backend = small_backend
+        self.large_backend = large_backend
+        self.policy_backend = policy_backend
+
+    def route(
+        self,
+        bg: BipartiteGraph,
+        backend: str | None = None,
+        policy: str = "U",
+    ) -> str:
+        """The backend name a request should run on.
+
+        An explicit ``backend`` wins (validated against the registry);
+        otherwise the size/policy rules above decide.
+        """
+        if backend is not None:
+            if backend not in backend_names():
+                raise ServiceError(
+                    f"unknown backend {backend!r}; choose from "
+                    f"{list(backend_names())}"
+                )
+            return backend
+        if policy != "U":
+            return self.policy_backend
+        if bg.num_edges >= self.edge_threshold:
+            return self.large_backend
+        return self.small_backend

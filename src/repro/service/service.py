@@ -1,0 +1,372 @@
+"""The in-process coloring service: dedup, batching, cache, accounting.
+
+:class:`ColoringService` is the asyncio front end over the execution-backend
+registry that the NDJSON server (:mod:`repro.service.server`) — and any
+in-process caller — submits coloring requests to.  The request path:
+
+1. **Resolve** — the request's schedule is canonicalized, the backend is
+   chosen (explicit pin, else the :class:`~repro.service.router.SizeRouter`)
+   and the full cache key is computed
+   (:func:`~repro.service.fingerprint.request_key`).
+2. **Cache** — a key already in the :class:`~repro.service.cache.ColoringCache`
+   is served immediately: zero backend work, the request's own
+   ``work_metrics`` are all zero, and the saved work is banked in the
+   service's accounting.
+3. **Coalesce** — a key currently *in flight* attaches to the running
+   computation's future instead of starting a second one: concurrent
+   duplicates cost one backend run.
+4. **Batch** — fresh keys are queued; a dispatcher drains up to
+   ``max_batch`` requests at a time and runs them concurrently on worker
+   threads (each coloring call releases the event loop via
+   ``asyncio.to_thread``), populating the cache on completion.
+
+Per-request cost accounting rides on the ``work_metrics`` of each
+:class:`~repro.types.ColoringResult`: every response carries
+the deterministic work *this* request caused (zeros for hits and coalesced
+joins), and :meth:`ColoringService.stats` totals executed vs saved work.
+Counter events (``cache.*``, ``service.request``, ``service.batch``) flow
+through the standard :class:`~repro.obs.tracer.Tracer` protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.core.bgpc import color_bgpc, sequential_bgpc
+from repro.core.plan import normalize_schedule_name
+from repro.core.policies import POLICIES, get_policy
+from repro.errors import ReproError, ServiceError
+from repro.graph.bipartite import BipartiteGraph
+from repro.obs.tracer import ensure_tracer
+from repro.obs.work import WORK_METRICS, WorkCounters
+from repro.order import ORDERINGS, get_ordering
+from repro.service.cache import ColoringCache
+from repro.service.fingerprint import request_key
+from repro.service.router import SizeRouter
+from repro.types import ColoringResult
+
+__all__ = ["ColoringRequest", "ColoringService", "ServiceResponse"]
+
+
+def _zero_work() -> dict[str, int]:
+    return {metric: 0 for metric in WORK_METRICS}
+
+
+@dataclass
+class ColoringRequest:
+    """One BGPC coloring request (the in-process twin of a ``color`` line).
+
+    ``backend=None`` asks the router to choose; ``threads=None`` takes the
+    service default.
+    """
+
+    graph: BipartiteGraph
+    algorithm: str = "N1-N2"
+    backend: str | None = None
+    threads: int | None = None
+    policy: str = "U"
+    ordering: str = "natural"
+    fastpath_mode: str = "exact"
+
+
+@dataclass
+class ServiceResponse:
+    """What :meth:`ColoringService.submit` resolves to.
+
+    ``work_metrics`` is the per-request cost: the run's deterministic
+    counters for a fresh execution, all zeros when the response came from
+    cache (``cached``) or attached to an in-flight duplicate
+    (``coalesced``).
+    """
+
+    result: ColoringResult
+    key: str
+    backend: str
+    threads: int
+    cached: bool = False
+    coalesced: bool = False
+    work_metrics: dict[str, int] = field(default_factory=_zero_work)
+
+
+class ColoringService:
+    """Async coloring front end with dedup, micro-batching and an LRU cache.
+
+    Parameters
+    ----------
+    backend:
+        Default backend for requests that do not pin one; ``None`` (default)
+        routes by size (see :class:`~repro.service.router.SizeRouter`).
+    threads:
+        Default worker/thread count handed to the backend (default 1, the
+        deterministic choice).
+    cache_size:
+        LRU capacity in results; 0 disables caching.
+    max_batch:
+        Most requests the dispatcher drains into one concurrent batch.
+    router:
+        Router override (default: a fresh ``SizeRouter``).
+    tracer:
+        Optional tracer receiving ``cache.*`` and ``service.*`` counters.
+    max_iterations:
+        Speculative-loop bound forwarded to the drivers.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | None = None,
+        threads: int = 1,
+        cache_size: int = 128,
+        max_batch: int = 8,
+        router: SizeRouter | None = None,
+        tracer=None,
+        max_iterations: int = 200,
+    ):
+        if threads < 1:
+            raise ServiceError(f"threads must be >= 1, got {threads}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        self.default_backend = backend
+        self.default_threads = threads
+        self.max_batch = max_batch
+        self.max_iterations = max_iterations
+        self.tracer = ensure_tracer(tracer)
+        self.router = router if router is not None else SizeRouter()
+        self.cache = ColoringCache(cache_size, tracer=tracer)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self.requests = 0
+        self.executed = 0
+        self.errors = 0
+        self.coalesced = 0
+        self.work_executed = WorkCounters()
+        self.work_saved = WorkCounters()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "ColoringService":
+        """Start the dispatcher (idempotent); returns ``self``."""
+        if self._dispatcher is None:
+            self._queue = asyncio.Queue()
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def close(self) -> None:
+        """Stop the dispatcher and fail any still-queued requests."""
+        if self._dispatcher is None:
+            return
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._dispatcher = None
+        while self._queue is not None and not self._queue.empty():
+            _, _, _, _, fut = self._queue.get_nowait()
+            if not fut.done():
+                fut.set_exception(ServiceError("service closed"))
+        self._inflight.clear()
+
+    async def __aenter__(self) -> "ColoringService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+    # -- request path -------------------------------------------------------
+
+    def resolve(self, request: ColoringRequest) -> tuple[str, str, int]:
+        """Validate ``request`` and return ``(key, backend, threads)``."""
+        if not isinstance(request.graph, BipartiteGraph):
+            raise ServiceError(
+                "request.graph must be a BipartiteGraph, got "
+                f"{type(request.graph).__name__}"
+            )
+        if request.policy not in POLICIES:
+            raise ServiceError(
+                f"unknown policy {request.policy!r}; choose from "
+                f"{sorted(POLICIES)}"
+            )
+        if request.ordering not in ORDERINGS:
+            raise ServiceError(
+                f"unknown ordering {request.ordering!r}; choose from "
+                f"{sorted(ORDERINGS)}"
+            )
+        if request.fastpath_mode not in ("exact", "speculative"):
+            raise ServiceError(
+                f"unknown fastpath_mode {request.fastpath_mode!r}; choose "
+                "from ['exact', 'speculative']"
+            )
+        algorithm = request.algorithm
+        if algorithm != "sequential":
+            try:
+                algorithm = normalize_schedule_name(algorithm)
+            except ReproError as exc:
+                raise ServiceError(str(exc)) from None
+        backend = self.router.route(
+            request.graph,
+            request.backend
+            if request.backend is not None
+            else self.default_backend,
+            request.policy,
+        )
+        threads = (
+            request.threads
+            if request.threads is not None
+            else self.default_threads
+        )
+        if threads < 1:
+            raise ServiceError(f"threads must be >= 1, got {threads}")
+        key = request_key(
+            request.graph,
+            algorithm=algorithm,
+            policy=request.policy,
+            ordering=request.ordering,
+            backend=backend,
+            threads=threads,
+            fastpath_mode=request.fastpath_mode,
+        )
+        return key, backend, threads
+
+    async def submit(self, request: ColoringRequest) -> ServiceResponse:
+        """Serve one request: cache hit, coalesced join, or fresh run.
+
+        Raises :class:`~repro.errors.ServiceError` on invalid requests and
+        on backend failures (one exception per waiter, cache untouched).
+        """
+        if self._dispatcher is None:
+            raise ServiceError(
+                "service is not started; use 'async with ColoringService(...)'"
+            )
+        self.requests += 1
+        key, backend, threads = self.resolve(request)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.work_saved.merge(cached.work_metrics)
+            self._emit_request(backend, cached=True, coalesced=False)
+            return ServiceResponse(
+                result=cached,
+                key=key,
+                backend=backend,
+                threads=threads,
+                cached=True,
+            )
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.coalesced += 1
+            result = await asyncio.shield(inflight)
+            self.work_saved.merge(result.work_metrics)
+            self._emit_request(backend, cached=False, coalesced=True)
+            return ServiceResponse(
+                result=result,
+                key=key,
+                backend=backend,
+                threads=threads,
+                coalesced=True,
+            )
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        await self._queue.put((key, request, backend, threads, future))
+        result = await asyncio.shield(future)
+        self.work_executed.merge(result.work_metrics)
+        self._emit_request(backend, cached=False, coalesced=False)
+        return ServiceResponse(
+            result=result,
+            key=key,
+            backend=backend,
+            threads=threads,
+            work_metrics=dict(result.work_metrics),
+        )
+
+    # -- dispatcher ---------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if self.tracer.enabled:
+                self.tracer.counter("service.batch", len(batch))
+            await asyncio.gather(
+                *(self._run_one(*entry) for entry in batch)
+            )
+
+    async def _run_one(self, key, request, backend, threads, future) -> None:
+        try:
+            result = await asyncio.to_thread(
+                self._execute, request, backend, threads
+            )
+        except ReproError as exc:
+            self.errors += 1
+            if not future.done():
+                future.set_exception(ServiceError(str(exc)))
+        else:
+            self.executed += 1
+            self.cache.put(key, result)
+            if not future.done():
+                future.set_result(result)
+        finally:
+            self._inflight.pop(key, None)
+
+    def _execute(self, request: ColoringRequest, backend: str,
+                 threads: int) -> ColoringResult:
+        """Run one coloring on a worker thread (CPU-bound, loop released)."""
+        order = (
+            None
+            if request.ordering == "natural"
+            else get_ordering(request.ordering)(request.graph)
+        )
+        policy = (
+            None if request.policy == "U" else get_policy(request.policy)
+        )
+        if request.algorithm == "sequential":
+            return sequential_bgpc(
+                request.graph, policy=policy, order=order
+            )
+        return color_bgpc(
+            request.graph,
+            algorithm=request.algorithm,
+            threads=threads,
+            policy=policy,
+            order=order,
+            max_iterations=self.max_iterations,
+            backend=backend,
+            fastpath_mode=request.fastpath_mode,
+        )
+
+    # -- accounting ---------------------------------------------------------
+
+    def _emit_request(self, backend: str, *, cached: bool,
+                      coalesced: bool) -> None:
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "service.request",
+                1,
+                backend=backend,
+                cached=cached,
+                coalesced=coalesced,
+            )
+
+    def stats(self) -> dict:
+        """Counter snapshot: requests, cache, coalescing, work totals."""
+        return {
+            "requests": self.requests,
+            "executed": self.executed,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "cache": self.cache.stats(),
+            "work_executed": self.work_executed.as_dict(),
+            "work_saved": self.work_saved.as_dict(),
+        }

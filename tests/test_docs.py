@@ -1,6 +1,6 @@
 """Documentation integrity checks (run in CI alongside the tier-1 suite).
 
-Three invariants keep the docs from drifting:
+Four invariants keep the docs from drifting:
 
 * every relative link in ``README.md`` and ``docs/*.md`` resolves to a
   file or directory in the repository;
@@ -8,7 +8,10 @@ Three invariants keep the docs from drifting:
 * every ``:func:``/``:class:``/``:data:``/``:mod:`` reference in a module
   docstring under ``src/repro`` names a symbol that actually resolves —
   either a dotted ``repro...`` path importable from the package root, or
-  a bare name present in the referencing module's namespace.
+  a bare name present in the referencing module's namespace;
+* every ``python -m repro...`` invocation quoted in a shell code block
+  parses against the real argparse tree of the module it names, so a
+  renamed or removed flag cannot leave stale commands in the docs.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import ast
 import importlib
 import re
+import shlex
 from pathlib import Path
 
 import pytest
@@ -98,6 +102,78 @@ def _resolves(ref: str, module) -> bool:
             return False
         obj = getattr(obj, attr)
     return True
+
+
+_SHELL_FENCE_RE = re.compile(
+    r"^```(?:bash|sh|shell|console)\s*$(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+#: Tokens marking a command as illustrative, not literally runnable.
+_PLACEHOLDER_TOKENS = ("...", "…", "[", "<")
+
+
+def _shell_invocations(text: str) -> list[str]:
+    """Every ``python -m repro...`` command quoted in a shell code block.
+
+    Continuation lines (trailing ``\\``) are folded into one command;
+    commands containing placeholder tokens are skipped.
+    """
+    commands = []
+    for fence in _SHELL_FENCE_RE.finditer(text):
+        lines = fence.group(1).splitlines()
+        i = 0
+        while i < len(lines):
+            line = lines[i].strip()
+            while line.endswith("\\") and i + 1 < len(lines):
+                i += 1
+                line = line[:-1].rstrip() + " " + lines[i].strip()
+            i += 1
+            if not line.startswith("python -m repro"):
+                continue
+            if any(tok in line for tok in _PLACEHOLDER_TOKENS):
+                continue
+            commands.append(line)
+    return commands
+
+
+def _parser_for(module: str, rest: list[str]):
+    """The ``(build_parser(), argv)`` pair a quoted command parses with."""
+    if module == "repro":
+        from repro.cli import build_parser
+
+        return build_parser(), rest
+    if module == "repro.serve":
+        from repro.serve import build_parser
+
+        return build_parser(), rest
+    if module == "repro.bench":
+        if rest and rest[0] == "regress":
+            from repro.bench.regress.cli import build_parser
+
+            return build_parser(), rest[1:]
+        from repro.bench.__main__ import build_parser
+
+        return build_parser(), rest
+    return None, rest
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_quoted_cli_invocations_parse(doc):
+    """Shell-block ``python -m repro...`` commands must parse today."""
+    bad = []
+    for command in _shell_invocations(doc.read_text(encoding="utf-8")):
+        argv = shlex.split(command, comments=True)
+        module = argv[2]  # ["python", "-m", "<module>", ...]
+        parser, rest = _parser_for(module, argv[3:])
+        if parser is None:
+            bad.append(f"{command!r}: unknown module {module!r}")
+            continue
+        try:
+            parser.parse_args(rest)
+        except SystemExit:
+            bad.append(f"{command!r}: does not parse")
+    assert not bad, f"{doc.relative_to(REPO_ROOT)}: stale CLI commands: {bad}"
 
 
 @pytest.mark.parametrize("path", MODULE_FILES, ids=_module_name)

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "distance_k.py",
     "hypergraph_coloring.py",
     "distributed_coloring.py",
+    "coloring_service.py",
 ]
 
 

@@ -216,6 +216,31 @@ class TestCli:
         out = capsys.readouterr().out
         assert "regressed" in out and "FAIL" in out
 
+    def test_inject_unknown_metric_fails_fast_with_exit_2(self, capsys):
+        # Validated before the expensive collection runs: one line on
+        # stderr listing the valid names, exit 2, no traceback.
+        assert (
+            self._main(
+                "--baseline", "unused.json", "--inject", "typo_metric=2",
+                "--cases", "bgpc/N1-N2/sim16",
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown metric 'typo_metric'" in err
+        assert "'probes'" in err and "'num_colors'" in err
+        assert err.count("\n") == 1
+
+    def test_inject_bad_spec_is_usage_error(self, capsys):
+        assert (
+            self._main(
+                "--baseline", "unused.json", "--inject", "probes",
+                "--cases", "bgpc/N1-N2/sim16",
+            )
+            == 2
+        )
+        assert "METRIC=FACTOR" in capsys.readouterr().err
+
     def test_missing_baseline_is_usage_error(self, tmp_path):
         assert (
             self._main(

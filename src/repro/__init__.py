@@ -18,6 +18,9 @@ from repro.graph import (
     CSR,
     BipartiteGraph,
     Graph,
+    GraphDelta,
+    apply_delta,
+    delta_frontier,
     bipartite_from_dense,
     bipartite_from_edges,
     bipartite_from_scipy,
@@ -46,6 +49,8 @@ from repro.core import (
     jones_plassmann_d2gc,
     rebalance_shuffle,
     reduce_colors,
+    recolor_incremental,
+    IncrementalResult,
     D2GC_ALGORITHMS,
     B1Policy,
     B2Policy,
@@ -84,6 +89,9 @@ __all__ = [
     "CSR",
     "BipartiteGraph",
     "Graph",
+    "GraphDelta",
+    "apply_delta",
+    "delta_frontier",
     "bipartite_from_dense",
     "bipartite_from_edges",
     "bipartite_from_scipy",
@@ -131,6 +139,8 @@ __all__ = [
     "jones_plassmann_d2gc",
     "rebalance_shuffle",
     "reduce_colors",
+    "recolor_incremental",
+    "IncrementalResult",
     "FASTPATH_MODES",
     "fastpath_color_bgpc",
     "fastpath_color_d2gc",

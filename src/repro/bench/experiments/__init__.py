@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     figure2,
     figure3,
     ablations,
+    incremental,
     manycore,
     profile,
     scaling,
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "figure2": figure2.run,
     "figure3": figure3.run,
     "ablations": ablations.run,
+    "incremental": incremental.run,
     "manycore": manycore.run,
     "profile": profile.run,
     "scaling": scaling.run,

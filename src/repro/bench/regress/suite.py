@@ -63,7 +63,7 @@ class BenchCase:
     """
 
     id: str
-    problem: str  # "bgpc" | "d2gc"
+    problem: str  # "bgpc" | "d2gc" | "incremental"
     instance: str  # key into INSTANCES
     schedule: str
     backend: str = "sim"
@@ -89,6 +89,30 @@ class BenchCase:
             from repro.core.d2gc import color_d2gc
 
             return color_d2gc(inst, self.schedule, **kwargs)
+        if self.problem == "incremental":
+            # Base coloring + pinned localized delta, then the frontier-only
+            # recolor; the returned result carries ONLY the incremental
+            # loop's work counters, so the baseline pins the frontier math.
+            from repro.bench.experiments.incremental import make_delta
+            from repro.core.bgpc import color_bgpc
+            from repro.core.incremental import recolor_incremental
+
+            base = color_bgpc(
+                inst, self.schedule, threads=self.threads,
+                backend=self.backend, fastpath_mode=self.fastpath_mode,
+            )
+            delta = make_delta(inst, count=5, seed=13)
+            inc = recolor_incremental(
+                inst,
+                base.colors,
+                delta,
+                algorithm=self.schedule,
+                threads=self.threads,
+                backend=self.backend,
+                tracer=tracer,
+                **self.extra,
+            )
+            return inc.result
         raise ValueError(f"unknown problem {self.problem!r}")
 
 
@@ -127,6 +151,13 @@ def default_suite() -> list[BenchCase]:
         ),
         BenchCase(
             "bgpc/N1-N2/process1", "bgpc", "bip-small", "N1-N2",
+            backend="process", threads=1,
+        ),
+        # Incremental recoloring: frontier-restricted resume after a pinned
+        # localized delta; pins the two-hop invalidation math.
+        BenchCase("bgpc/incr/V-V/sim16", "incremental", "bip-small", "V-V"),
+        BenchCase(
+            "bgpc/incr/V-V/process1", "incremental", "bip-small", "V-V",
             backend="process", threads=1,
         ),
     ]

@@ -10,6 +10,7 @@ Usage::
     python -m repro input.mtx --backend process --threads 4
     python -m repro input.mtx --profile --trace run.jsonl
     python -m repro input.mtx --work-metrics
+    python -m repro input.mtx --algo V-V --delta changes.json
 
 ``--algo`` accepts any spec the schedule grammar admits (``V-N∞``,
 ``n1-n2-b1``, …), not just the named table entries, and ``--backend``
@@ -99,7 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="balancing policy: U (none), B1 or B2",
     )
     parser.add_argument(
-        "--output", default=None, help="write one color per line to this file"
+        "--delta",
+        default=None,
+        metavar="FILE",
+        help="after the base run, apply the JSON edge delta in FILE "
+        '({"insert": [[u, v], ...], "delete": [[u, v], ...]}) and recolor '
+        "only the invalidated frontier, printing the work saved vs the "
+        "base run (bgpc only, natural ordering, kernel-level backends); "
+        "see docs/incremental.md",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write one color per line to this "
+        "file (with --delta: the incremental colors of the mutated graph)"
     )
     parser.add_argument(
         "--profile",
@@ -126,10 +138,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_delta(path: str):
+    """Read a ``--delta`` JSON file into a GraphDelta; exits via ValueError."""
+    import json
+
+    from repro.graph.delta import GraphDelta
+
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            "delta file must hold a JSON object with 'insert'/'delete' lists"
+        )
+    unknown = set(payload) - {"insert", "delete"}
+    if unknown:
+        raise ValueError(
+            f"unknown delta fields {sorted(unknown)}; "
+            "expected 'insert' and/or 'delete'"
+        )
+    return GraphDelta(
+        insert=payload.get("insert", ()), delete=payload.get("delete", ())
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
+
+    delta = None
+    if args.delta:
+        # Incremental recoloring resumes the kernel loop in place, which
+        # constrains the configuration; reject the rest with one-line errors.
+        reason = None
+        if args.problem != "bgpc":
+            reason = "--delta supports only --problem bgpc"
+        elif args.algorithm == "sequential":
+            reason = ("--delta needs a speculative schedule to resume "
+                      "(e.g. --algo V-V), not sequential")
+        elif args.backend == "numpy":
+            reason = ("--delta cannot run on --backend numpy (the fast "
+                      "path cannot resume a partial coloring)")
+        elif args.ordering != "natural":
+            reason = ("--delta requires --ordering natural (a permuted "
+                      "coloring cannot be resumed in place)")
+        if reason is not None:
+            print(f"error: {reason}", file=sys.stderr)
+            return 2
+        try:
+            delta = _load_delta(args.delta)
+        except (OSError, TypeError, ValueError, ReproError) as exc:
+            print(f"error: cannot read delta {args.delta}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     try:
         bg = read_matrix_market(args.matrix)
@@ -149,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"error: cannot write trace {args.trace}: {exc}",
                       file=sys.stderr)
                 return 2
-        return _run(args, bg, policy, tracer)
+        return _run(args, bg, policy, tracer, delta)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -162,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
             tracer.close()
 
 
-def _run(args, bg, policy, tracer=None) -> int:
+def _run(args, bg, policy, tracer=None, delta=None) -> int:
     if args.problem == "bgpc":
         instance = bg
         order = (
@@ -245,6 +306,37 @@ def _run(args, bg, policy, tracer=None) -> int:
         print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
+    inc = None
+    if delta is not None:
+        from repro.core.incremental import recolor_incremental
+
+        inc = recolor_incremental(
+            instance,
+            result.colors,
+            delta,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            backend=args.backend,
+            policy=policy,
+            tracer=tracer,
+            validate=False,  # the base run was validated just above
+        )
+        print(f"delta    : {args.delta} (+{inc.num_insertions} insert / "
+              f"-{inc.num_deletions} delete), frontier {inc.frontier_size} "
+              f"of {inc.graph.num_vertices} vertices")
+        print(f"recolor  : {inc.num_colors} colors on the mutated graph "
+              f"({inc.result.num_iterations} rounds, incremental)")
+        base_work = (result.work_metrics.get("probes", 0)
+                     + result.work_metrics.get("conflict_checks", 0))
+        inc_work = (inc.work_metrics.get("probes", 0)
+                    + inc.work_metrics.get("conflict_checks", 0))
+        if inc_work:
+            print(f"saved    : {inc_work} vs {base_work} probes+checks "
+                  f"({base_work / inc_work:.1f}x less work than the "
+                  f"base run)")
+        else:
+            print(f"saved    : 0 vs {base_work} probes+checks (frontier "
+                  f"empty — zero-work fast path)")
     if args.work_metrics:
         from repro.obs import WORK_METRICS
 
@@ -260,8 +352,9 @@ def _run(args, bg, policy, tracer=None) -> int:
     if args.trace:
         print(f"trace written to {args.trace}")
     if args.output:
+        out_colors = result.colors if inc is None else inc.colors
         with open(args.output, "w", encoding="ascii") as fh:
-            fh.writelines(f"{c}\n" for c in result.colors)
+            fh.writelines(f"{c}\n" for c in out_colors)
         print(f"colors written to {args.output}")
     return 0
 

@@ -48,6 +48,7 @@ from repro.core.distk import (
 )
 from repro.core.balance import rebalance_shuffle, ShuffleResult
 from repro.core.jp import jones_plassmann_bgpc, jones_plassmann_d2gc
+from repro.core.incremental import IncrementalResult, recolor_incremental
 from repro.core.recolor import reduce_colors, RecolorResult
 from repro.core.fastpath import (
     FASTPATH_MODES,
@@ -96,6 +97,8 @@ __all__ = [
     "jones_plassmann_d2gc",
     "reduce_colors",
     "RecolorResult",
+    "recolor_incremental",
+    "IncrementalResult",
     "FASTPATH_MODES",
     "fastpath_color_bgpc",
     "fastpath_color_d2gc",

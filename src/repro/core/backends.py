@@ -226,6 +226,7 @@ class ProcessPhaseEngine:
         tracer=None,
         policy=None,
         fault=None,
+        initial_colors: np.ndarray | None = None,
     ):
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
@@ -252,7 +253,11 @@ class ProcessPhaseEngine:
         self.last_work = None
         segments = {}
         try:
-            initial = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+            initial = (
+                np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+                if initial_colors is None
+                else np.array(initial_colors, dtype=np.int64, copy=True)
+            )
             shm, self.colors, segments["colors"] = procworker.create_segment(initial)
             self._shms.append(shm)
             shm, self.work, segments["work"] = procworker.create_segment(
@@ -463,12 +468,21 @@ def run_plan_loop(
     max_iterations: int = 200,
     tracer=None,
     backend_name: str = "sim",
+    initial_work: np.ndarray | None = None,
 ) -> ColoringResult:
     """The backend-agnostic speculative loop (paper Algs. 1–3).
 
     Asks ``schedule`` for each iteration's phase plans and ``engine`` to
     execute them; everything schedule- or backend-specific lives behind
     those two objects.  Shared by every kernel-level backend.
+
+    ``initial_work`` restricts the first iteration's work queue to the
+    given vertex ids instead of every target — the incremental-recoloring
+    entry point (:func:`repro.core.incremental.recolor_incremental`), whose
+    engine starts from a partially valid color array.  Net-based *color*
+    phases still sweep every net regardless of the queue (their kernels are
+    queue-blind by design), so frontier runs should use vertex-based
+    schedules to realize the work savings.
 
     Work metrics: after each phase the engine's
     :class:`~repro.obs.work.WorkCounters` are emitted as ``work.<metric>``
@@ -498,7 +512,17 @@ def run_plan_loop(
     vertex_remove = adapter.make_vertex_removal_kernel()
     net_remove = adapter.make_net_removal_kernel()
 
-    work = np.arange(adapter.n_targets, dtype=np.int64)
+    if initial_work is None:
+        work = np.arange(adapter.n_targets, dtype=np.int64)
+    else:
+        work = np.array(initial_work, dtype=np.int64, copy=True)
+        if work.size and (
+            work.min() < 0 or work.max() >= adapter.n_targets
+        ):
+            raise ColoringError(
+                f"initial_work ids must be in [0, {adapter.n_targets}), "
+                f"got [{work.min()}, {work.max()}]"
+            )
     records: list[IterationRecord] = []
     iteration = 0
     palette = 0
@@ -634,6 +658,12 @@ class ExecutionBackend(Protocol):
     Kernel-level backends additionally expose ``make_engine`` so other
     harnesses (e.g. :func:`repro.dist.hybrid.hybrid_bgpc`) can run single
     phases on the same substrate.
+
+    ``initial_colors``/``initial_work`` resume the loop from a partially
+    valid coloring on a restricted work queue (incremental recoloring —
+    see :mod:`repro.core.incremental`); backends that cannot resume (the
+    whole-array ``numpy`` engine) raise :class:`ColoringError` when either
+    is given.
     """
 
     name: str
@@ -650,6 +680,8 @@ class ExecutionBackend(Protocol):
         max_iterations: int = 200,
         fastpath_mode: str = "exact",
         tracer=None,
+        initial_colors: np.ndarray | None = None,
+        initial_work: np.ndarray | None = None,
     ) -> ColoringResult: ...
 
 
@@ -677,11 +709,21 @@ class _KernelLoopBackend:
         max_iterations=200,
         fastpath_mode="exact",  # accepted for signature uniformity; unused
         tracer=None,
+        initial_colors=None,
+        initial_work=None,
     ) -> ColoringResult:
         from repro.obs.tracer import ensure_tracer
 
         tracer = ensure_tracer(tracer)
-        colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+        if initial_colors is None:
+            colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
+        else:
+            colors = np.array(initial_colors, dtype=np.int64, copy=True)
+            if colors.shape != (adapter.n_targets,):
+                raise ColoringError(
+                    f"initial_colors must have shape ({adapter.n_targets},), "
+                    f"got {colors.shape}"
+                )
         engine = self.make_engine(colors, threads, cost, tracer)
         return run_plan_loop(
             engine,
@@ -693,6 +735,7 @@ class _KernelLoopBackend:
             max_iterations=max_iterations,
             tracer=tracer,
             backend_name=self.name,
+            initial_work=initial_work,
         )
 
 
@@ -752,6 +795,8 @@ class ProcessBackend:
         max_iterations=200,
         fastpath_mode="exact",  # accepted for signature uniformity; unused
         tracer=None,
+        initial_colors=None,
+        initial_work=None,
     ) -> ColoringResult:
         from repro.core import procworker
         from repro.obs.tracer import ensure_tracer
@@ -761,13 +806,21 @@ class ProcessBackend:
                 "backend='process' needs an adapter with process_spec() "
                 f"(shared-memory layout); {type(adapter).__name__} has none"
             )
+        if initial_colors is not None and np.asarray(initial_colors).shape != (
+            adapter.n_targets,
+        ):
+            raise ColoringError(
+                f"initial_colors must have shape ({adapter.n_targets},), "
+                f"got {np.asarray(initial_colors).shape}"
+            )
         tracer = ensure_tracer(tracer)
         try:
             fault = procworker.parse_fault(os.environ.get("REPRO_PROCESS_FAULT"))
         except ValueError as exc:
             raise ColoringError(str(exc)) from None
         engine = ProcessPhaseEngine(
-            adapter, threads, cost=cost, tracer=tracer, policy=policy, fault=fault
+            adapter, threads, cost=cost, tracer=tracer, policy=policy,
+            fault=fault, initial_colors=initial_colors,
         )
         try:
             return run_plan_loop(
@@ -780,6 +833,7 @@ class ProcessBackend:
                 max_iterations=max_iterations,
                 tracer=tracer,
                 backend_name=self.name,
+                initial_work=initial_work,
             )
         finally:
             engine.close()
@@ -808,11 +862,19 @@ class NumpyBackend:
         max_iterations=200,
         fastpath_mode="exact",
         tracer=None,
+        initial_colors=None,
+        initial_work=None,
     ) -> ColoringResult:
         from repro.core.fastpath.engine import run_fastpath
         from repro.obs.tracer import ensure_tracer
         from repro.obs.work import WorkCounters
 
+        if initial_colors is not None or initial_work is not None:
+            raise ColoringError(
+                "backend='numpy' cannot resume from a partial coloring "
+                "(its rounds are whole-array); run incremental recoloring "
+                "on sim, threaded or process"
+            )
         if policy is not None and not isinstance(policy, FirstFit):
             raise ColoringError(
                 "backend='numpy' supports only the first-fit policy (U); "

@@ -9,8 +9,9 @@ algorithms run on:
 * :class:`repro.graph.unipartite.Graph` — a symmetric unipartite graph, the
   D2GC input;
 * builders (:mod:`repro.graph.build`), pattern algebra
-  (:mod:`repro.graph.ops`), MatrixMarket I/O (:mod:`repro.graph.mmio`) and
-  dataset statistics (:mod:`repro.graph.stats`).
+  (:mod:`repro.graph.ops`), edge deltas for evolving graphs
+  (:mod:`repro.graph.delta`), MatrixMarket I/O (:mod:`repro.graph.mmio`)
+  and dataset statistics (:mod:`repro.graph.stats`).
 """
 
 from repro.graph.csr import CSR
@@ -24,6 +25,7 @@ from repro.graph.build import (
     graph_from_scipy,
     graph_from_dense,
 )
+from repro.graph.delta import GraphDelta, apply_delta, delta_frontier
 from repro.graph.mmio import read_matrix_market, write_matrix_market
 from repro.graph.stats import DatasetProperties, dataset_properties
 
@@ -31,6 +33,9 @@ __all__ = [
     "CSR",
     "BipartiteGraph",
     "Graph",
+    "GraphDelta",
+    "apply_delta",
+    "delta_frontier",
     "bipartite_from_edges",
     "bipartite_from_scipy",
     "bipartite_from_dense",

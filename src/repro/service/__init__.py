@@ -27,6 +27,7 @@ from repro.service.server import ColoringServer
 from repro.service.service import (
     ColoringRequest,
     ColoringService,
+    DeltaRequest,
     ServiceResponse,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "ColoringRequest",
     "ColoringServer",
     "ColoringService",
+    "DeltaRequest",
     "ServiceClient",
     "ServiceResponse",
     "SizeRouter",

@@ -67,6 +67,26 @@ class ServiceClient:
         )
         return self.request({"op": "color", "graph": wire, **options})
 
+    def delta(self, fingerprint: str, insert=(), delete=(),
+              **options) -> dict:
+        """Submit a ``delta`` request against a previously colored graph.
+
+        ``fingerprint`` is the value returned in a prior ``color`` (or
+        ``delta``) response; ``insert`` / ``delete`` are iterables of
+        ``(vertex, net)`` pairs.  Keyword options (``algorithm``,
+        ``backend``, ``threads``, ``policy``, ``id``) pass through.  The
+        response carries the mutated graph's ``fingerprint`` for chaining
+        the next epoch.
+        """
+        wire = {
+            "insert": [[int(u), int(v)] for u, v in insert],
+            "delete": [[int(u), int(v)] for u, v in delete],
+        }
+        return self.request(
+            {"op": "delta", "fingerprint": fingerprint, "delta": wire,
+             **options}
+        )
+
     def ping(self) -> dict:
         return self.request({"op": "ping"})
 

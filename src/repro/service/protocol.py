@@ -9,6 +9,13 @@ is a JSON object with an ``op`` (default ``"color"``) and an optional
     "backend": null, "threads": 2, "policy": "U", "ordering": "natural",
     "fastpath_mode": "exact"}`` — every field except ``graph`` is
     optional; ``backend: null`` asks the size router to choose.
+``delta``
+    ``{"id": 2, "op": "delta", "fingerprint": "<sha256>", "delta":
+    {"insert": [[u, v], ...], "delete": [[u, v], ...]}, "algorithm":
+    "V-V", "backend": null, "threads": 2, "policy": "U"}`` — recolor a
+    previously colored graph (named by its content fingerprint) after an
+    edge change, touching only the invalidated frontier; see
+    ``docs/incremental.md``.
 ``stats``
     Service counters (requests, cache hits/misses/evictions, work totals).
 ``ping``
@@ -40,9 +47,12 @@ from repro.errors import GraphError, ServiceError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.build import bipartite_from_edges
 from repro.graph.csr import CSR
+from repro.graph.delta import GraphDelta
 
 __all__ = [
     "OPS",
+    "delta_from_wire",
+    "delta_to_wire",
     "encode",
     "error_response",
     "graph_from_wire",
@@ -52,7 +62,7 @@ __all__ = [
 ]
 
 #: Operations a request line may name.
-OPS = ("color", "stats", "ping", "shutdown")
+OPS = ("color", "delta", "stats", "ping", "shutdown")
 
 
 def parse_request(line: str | bytes) -> dict:
@@ -127,6 +137,41 @@ def graph_to_wire(bg: BipartiteGraph) -> dict:
         "ptr": bg.vtx_to_nets.ptr.tolist(),
         "idx": bg.vtx_to_nets.idx.tolist(),
         "num_nets": bg.num_nets,
+    }
+
+
+def delta_from_wire(obj) -> GraphDelta:
+    """Build a :class:`~repro.graph.delta.GraphDelta` from its wire form.
+
+    The wire form is ``{"insert": [[u, v], ...], "delete": [[u, v], ...]}``
+    with both lists optional (an omitted list means no change of that
+    kind).  Raises :class:`~repro.errors.ServiceError` on structural
+    problems.
+    """
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            f"delta must be a JSON object, got {type(obj).__name__}"
+        )
+    unknown = set(obj) - {"insert", "delete"}
+    if unknown:
+        raise ServiceError(
+            f"unknown delta fields {sorted(unknown)}; "
+            "expected 'insert' and/or 'delete'"
+        )
+    try:
+        return GraphDelta(
+            insert=[(int(u), int(v)) for u, v in obj.get("insert", [])],
+            delete=[(int(u), int(v)) for u, v in obj.get("delete", [])],
+        )
+    except (GraphError, TypeError, ValueError) as exc:
+        raise ServiceError(f"bad delta: {exc}") from None
+
+
+def delta_to_wire(delta: GraphDelta) -> dict:
+    """The wire form of ``delta`` (canonical order, plain int lists)."""
+    return {
+        "insert": delta.insert.tolist(),
+        "delete": delta.delete.tolist(),
     }
 
 

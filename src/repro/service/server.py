@@ -19,13 +19,18 @@ import asyncio
 
 from repro.errors import ServiceError
 from repro.service.protocol import (
+    delta_from_wire,
     encode,
     error_response,
     graph_from_wire,
     ok_response,
     parse_request,
 )
-from repro.service.service import ColoringRequest, ColoringService
+from repro.service.service import (
+    ColoringRequest,
+    ColoringService,
+    DeltaRequest,
+)
 
 __all__ = ["ColoringServer", "STREAM_LIMIT"]
 
@@ -140,6 +145,38 @@ class ColoringServer:
         if op == "shutdown":
             self._shutdown.set()
             return ok_response(request_id, shutting_down=True)
+        if op == "delta":
+            if "fingerprint" not in request:
+                raise ServiceError("delta request is missing 'fingerprint'")
+            if "delta" not in request:
+                raise ServiceError("delta request is missing 'delta'")
+            delta_request = DeltaRequest(
+                fingerprint=request["fingerprint"],
+                delta=delta_from_wire(request["delta"]),
+                algorithm=request.get("algorithm", "V-V"),
+                backend=request.get("backend"),
+                threads=request.get("threads"),
+                policy=request.get("policy", "U"),
+            )
+            delta_request.threads = self._coerce_threads(delta_request.threads)
+            response = await self.service.submit_delta(delta_request)
+            result = response.result
+            return ok_response(
+                request_id,
+                colors=result.colors.tolist(),
+                num_colors=result.num_colors,
+                iterations=result.num_iterations,
+                backend=response.backend,
+                threads=response.threads,
+                cached=response.cached,
+                coalesced=response.coalesced,
+                work_metrics=response.work_metrics,
+                key=response.key,
+                # The mutated graph's fingerprint: chain the next delta
+                # off this value.
+                fingerprint=response.key.split(":", 1)[0],
+                frontier_size=response.frontier_size,
+            )
         # op == "color"
         if "graph" not in request:
             raise ServiceError("color request is missing 'graph'")
@@ -153,14 +190,9 @@ class ColoringServer:
             ordering=request.get("ordering", "natural"),
             fastpath_mode=request.get("fastpath_mode", "exact"),
         )
-        if coloring_request.threads is not None:
-            try:
-                coloring_request.threads = int(coloring_request.threads)
-            except (TypeError, ValueError):
-                raise ServiceError(
-                    f"threads must be an integer, got "
-                    f"{coloring_request.threads!r}"
-                ) from None
+        coloring_request.threads = self._coerce_threads(
+            coloring_request.threads
+        )
         response = await self.service.submit(coloring_request)
         result = response.result
         return ok_response(
@@ -174,4 +206,18 @@ class ColoringServer:
             coalesced=response.coalesced,
             work_metrics=response.work_metrics,
             key=response.key,
+            # The graph's content fingerprint: send edge changes as delta
+            # requests against this value (docs/incremental.md).
+            fingerprint=response.key.split(":", 1)[0],
         )
+
+    @staticmethod
+    def _coerce_threads(threads):
+        if threads is None:
+            return None
+        try:
+            return int(threads)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"threads must be an integer, got {threads!r}"
+            ) from None

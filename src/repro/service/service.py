@@ -26,18 +26,32 @@ the deterministic work *this* request caused (zeros for hits and coalesced
 joins), and :meth:`ColoringService.stats` totals executed vs saved work.
 Counter events (``cache.*``, ``service.request``, ``service.batch``) flow
 through the standard :class:`~repro.obs.tracer.Tracer` protocol.
+
+**Delta requests** (:meth:`ColoringService.submit_delta`) extend the
+economy to evolving graphs: the service remembers the graphs it has
+colored (a bounded fingerprint → graph store), so a client can send just
+an edge delta against a cached fingerprint instead of re-uploading and
+re-coloring the whole graph.  The mutated graph is re-fingerprinted, the
+frontier is recolored incrementally
+(:func:`repro.core.incremental.recolor_incremental`), and the result is
+cached under the *new* key — the next epoch chains off it.  Empty deltas
+are pure cache hits and delete-only deltas (empty frontier) are answered
+synchronously at zero kernel work; neither dispatches a batch.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.bgpc import color_bgpc, sequential_bgpc
+from repro.core.incremental import recolor_incremental
 from repro.core.plan import normalize_schedule_name
 from repro.core.policies import POLICIES, get_policy
-from repro.errors import ReproError, ServiceError
+from repro.errors import GraphError, ReproError, ServiceError
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.delta import GraphDelta, apply_delta, delta_frontier
 from repro.obs.tracer import ensure_tracer
 from repro.obs.work import WORK_METRICS, WorkCounters
 from repro.order import ORDERINGS, get_ordering
@@ -46,7 +60,12 @@ from repro.service.fingerprint import request_key
 from repro.service.router import SizeRouter
 from repro.types import ColoringResult
 
-__all__ = ["ColoringRequest", "ColoringService", "ServiceResponse"]
+__all__ = [
+    "ColoringRequest",
+    "ColoringService",
+    "DeltaRequest",
+    "ServiceResponse",
+]
 
 
 def _zero_work() -> dict[str, int]:
@@ -71,13 +90,37 @@ class ColoringRequest:
 
 
 @dataclass
+class DeltaRequest:
+    """One incremental-recoloring request (the twin of a ``delta`` line).
+
+    ``fingerprint`` names a graph the service has colored before
+    (:func:`~repro.service.fingerprint.graph_fingerprint` — returned in
+    every color/delta response's ``key`` prefix); ``delta`` is the edge
+    change set.  The configuration fields must match a cached base
+    coloring; ordering is always ``natural`` and ``fastpath_mode`` always
+    ``"exact"`` for delta requests (incremental runs resume kernel loops,
+    which the numpy fast path cannot do — an explicit or routed ``numpy``
+    backend is remapped to the deterministic ``sim``).
+    """
+
+    fingerprint: str
+    delta: GraphDelta
+    algorithm: str = "V-V"
+    backend: str | None = None
+    threads: int | None = None
+    policy: str = "U"
+
+
+@dataclass
 class ServiceResponse:
     """What :meth:`ColoringService.submit` resolves to.
 
     ``work_metrics`` is the per-request cost: the run's deterministic
     counters for a fresh execution, all zeros when the response came from
     cache (``cached``) or attached to an in-flight duplicate
-    (``coalesced``).
+    (``coalesced``).  ``frontier_size`` is set on delta responses only:
+    how many vertices the delta invalidated (0 for empty and delete-only
+    deltas).
     """
 
     result: ColoringResult
@@ -87,6 +130,19 @@ class ServiceResponse:
     cached: bool = False
     coalesced: bool = False
     work_metrics: dict[str, int] = field(default_factory=_zero_work)
+    frontier_size: int | None = None
+
+
+@dataclass
+class _DeltaJob:
+    """Internal queue entry for a fresh incremental run."""
+
+    base: BipartiteGraph
+    base_colors: object
+    delta: GraphDelta
+    algorithm: str
+    policy: str
+    mutated: BipartiteGraph
 
 
 class ColoringService:
@@ -139,10 +195,16 @@ class ColoringService:
         self._inflight: dict[str, asyncio.Future] = {}
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
+        # Fingerprint → graph store backing delta requests: every colored
+        # graph is remembered (bounded LRU) so a client can send just an
+        # edge delta against the fingerprint instead of the whole graph.
+        self._graph_capacity = max(cache_size, 16)
+        self._graphs: OrderedDict[str, BipartiteGraph] = OrderedDict()
         self.requests = 0
         self.executed = 0
         self.errors = 0
         self.coalesced = 0
+        self.delta_requests = 0
         self.work_executed = WorkCounters()
         self.work_saved = WorkCounters()
 
@@ -245,6 +307,7 @@ class ColoringService:
             )
         self.requests += 1
         key, backend, threads = self.resolve(request)
+        self._remember_graph(key.split(":", 1)[0], request.graph)
 
         cached = self.cache.get(key)
         if cached is not None:
@@ -286,6 +349,211 @@ class ColoringService:
             work_metrics=dict(result.work_metrics),
         )
 
+    # -- delta path ---------------------------------------------------------
+
+    def _remember_graph(self, fingerprint: str, graph: BipartiteGraph) -> None:
+        """Register ``graph`` under its fingerprint (bounded LRU)."""
+        if fingerprint in self._graphs:
+            self._graphs.move_to_end(fingerprint)
+        self._graphs[fingerprint] = graph
+        while len(self._graphs) > self._graph_capacity:
+            self._graphs.popitem(last=False)
+
+    def resolve_delta(
+        self, request: DeltaRequest
+    ) -> tuple[BipartiteGraph, str, str, int]:
+        """Validate ``request``; return ``(base, algorithm, backend, threads)``."""
+        if not isinstance(request.delta, GraphDelta):
+            raise ServiceError(
+                "request.delta must be a GraphDelta, got "
+                f"{type(request.delta).__name__}"
+            )
+        if not isinstance(request.fingerprint, str) or not request.fingerprint:
+            raise ServiceError("request.fingerprint must be a non-empty string")
+        if request.policy not in POLICIES:
+            raise ServiceError(
+                f"unknown policy {request.policy!r}; choose from "
+                f"{sorted(POLICIES)}"
+            )
+        if request.algorithm == "sequential":
+            raise ServiceError(
+                "delta requests cannot use 'sequential' (there is no "
+                "speculative loop to resume); name a schedule such as V-V"
+            )
+        try:
+            algorithm = normalize_schedule_name(request.algorithm)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from None
+        base = self._graphs.get(request.fingerprint)
+        if base is None:
+            raise ServiceError(
+                f"unknown graph fingerprint {request.fingerprint[:12]}…; "
+                "submit a color request for the base graph first (the "
+                f"service remembers the last {self._graph_capacity} graphs)"
+            )
+        self._graphs.move_to_end(request.fingerprint)
+        backend = self.router.route(
+            base,
+            request.backend
+            if request.backend is not None
+            else self.default_backend,
+            request.policy,
+        )
+        if backend == "numpy":
+            # The numpy engine cannot resume a partial coloring; remap to
+            # the deterministic kernel-level backend instead of erroring.
+            backend = self.router.policy_backend
+        threads = (
+            request.threads
+            if request.threads is not None
+            else self.default_threads
+        )
+        if threads < 1:
+            raise ServiceError(f"threads must be >= 1, got {threads}")
+        return base, algorithm, backend, threads
+
+    def _delta_key(self, graph: BipartiteGraph, algorithm: str,
+                   request: DeltaRequest, backend: str, threads: int) -> str:
+        return request_key(
+            graph,
+            algorithm=algorithm,
+            policy=request.policy,
+            ordering="natural",
+            backend=backend,
+            threads=threads,
+            fastpath_mode="exact",
+        )
+
+    async def submit_delta(self, request: DeltaRequest) -> ServiceResponse:
+        """Recolor a remembered graph after an edge delta.
+
+        Requires a cached base coloring under the same configuration
+        (algorithm/policy/backend/threads); raises
+        :class:`~repro.errors.ServiceError` otherwise.  Empty deltas are
+        answered from cache and delete-only deltas synchronously at zero
+        kernel work (the base coloring is still valid — deletions only
+        remove constraints); only genuine insertions dispatch a frontier
+        run, whose result is cached under the mutated graph's key.
+        """
+        if self._dispatcher is None:
+            raise ServiceError(
+                "service is not started; use 'async with ColoringService(...)'"
+            )
+        self.requests += 1
+        self.delta_requests += 1
+        base, algorithm, backend, threads = self.resolve_delta(request)
+        base_key = self._delta_key(base, algorithm, request, backend, threads)
+        base_result = self.cache.get(base_key)
+        if base_result is None:
+            raise ServiceError(
+                "no cached coloring for fingerprint "
+                f"{request.fingerprint[:12]}… under "
+                f"{base_key.split(':', 1)[1]!r}; submit a color request "
+                "with the same algorithm/policy/backend/threads first"
+            )
+        delta = request.delta
+
+        if delta.is_empty:
+            # Short-circuit: the graph is unchanged, so this is a pure
+            # cache hit — never dispatch a batch for it.
+            self.work_saved.merge(base_result.work_metrics)
+            self._emit_request(backend, cached=True, coalesced=False)
+            return ServiceResponse(
+                result=base_result,
+                key=base_key,
+                backend=backend,
+                threads=threads,
+                cached=True,
+                frontier_size=0,
+            )
+
+        try:
+            mutated = apply_delta(base, delta)
+        except GraphError as exc:
+            raise ServiceError(str(exc)) from None
+        frontier_size = int(delta_frontier(mutated, delta).size)
+        new_key = self._delta_key(mutated, algorithm, request, backend, threads)
+        self._remember_graph(new_key.split(":", 1)[0], mutated)
+
+        cached = self.cache.get(new_key)
+        if cached is not None:
+            self.work_saved.merge(cached.work_metrics)
+            self._emit_request(backend, cached=True, coalesced=False)
+            return ServiceResponse(
+                result=cached,
+                key=new_key,
+                backend=backend,
+                threads=threads,
+                cached=True,
+                frontier_size=frontier_size,
+            )
+
+        if delta.is_delete_only:
+            # Frontier-empty fast return: deletions only remove
+            # constraints, so the base colors are already valid on the
+            # mutated graph.  Re-cache them under the new fingerprint
+            # synchronously — no batch, no kernel work, full base work
+            # banked as saved.
+            result = ColoringResult(
+                colors=base_result.colors.copy(),
+                num_colors=base_result.num_colors,
+                iterations=[],
+                algorithm=base_result.algorithm,
+                threads=threads,
+                cycles=0.0,
+                backend=backend,
+                wall_seconds=0.0,
+                work_metrics=_zero_work(),
+            )
+            self.cache.put(new_key, result)
+            self.work_saved.merge(base_result.work_metrics)
+            self._emit_request(backend, cached=False, coalesced=False)
+            return ServiceResponse(
+                result=result,
+                key=new_key,
+                backend=backend,
+                threads=threads,
+                frontier_size=0,
+            )
+
+        inflight = self._inflight.get(new_key)
+        if inflight is not None:
+            self.coalesced += 1
+            result = await asyncio.shield(inflight)
+            self.work_saved.merge(result.work_metrics)
+            self._emit_request(backend, cached=False, coalesced=True)
+            return ServiceResponse(
+                result=result,
+                key=new_key,
+                backend=backend,
+                threads=threads,
+                coalesced=True,
+                frontier_size=frontier_size,
+            )
+
+        job = _DeltaJob(
+            base=base,
+            base_colors=base_result.colors,
+            delta=delta,
+            algorithm=algorithm,
+            policy=request.policy,
+            mutated=mutated,
+        )
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[new_key] = future
+        await self._queue.put((new_key, job, backend, threads, future))
+        result = await asyncio.shield(future)
+        self.work_executed.merge(result.work_metrics)
+        self._emit_request(backend, cached=False, coalesced=False)
+        return ServiceResponse(
+            result=result,
+            key=new_key,
+            backend=backend,
+            threads=threads,
+            work_metrics=dict(result.work_metrics),
+            frontier_size=frontier_size,
+        )
+
     # -- dispatcher ---------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
@@ -320,9 +588,27 @@ class ColoringService:
         finally:
             self._inflight.pop(key, None)
 
-    def _execute(self, request: ColoringRequest, backend: str,
+    def _execute(self, request, backend: str,
                  threads: int) -> ColoringResult:
         """Run one coloring on a worker thread (CPU-bound, loop released)."""
+        if isinstance(request, _DeltaJob):
+            # Base colors come from our own cache, so skip re-validating
+            # them; the incremental result is still always validated.
+            inc = recolor_incremental(
+                request.base,
+                request.base_colors,
+                request.delta,
+                algorithm=request.algorithm,
+                threads=threads,
+                backend=backend,
+                policy=(
+                    None if request.policy == "U" else get_policy(request.policy)
+                ),
+                max_iterations=self.max_iterations,
+                validate=False,
+                mutated=request.mutated,
+            )
+            return inc.result
         order = (
             None
             if request.ordering == "natural"
@@ -366,6 +652,8 @@ class ColoringService:
             "executed": self.executed,
             "errors": self.errors,
             "coalesced": self.coalesced,
+            "delta_requests": self.delta_requests,
+            "graphs_remembered": len(self._graphs),
             "cache": self.cache.stats(),
             "work_executed": self.work_executed.as_dict(),
             "work_saved": self.work_saved.as_dict(),

@@ -67,7 +67,7 @@ class TestExperimentsTinyScale:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "ablations", "manycore",
-            "profile", "scaling", "serve",
+            "profile", "scaling", "serve", "incremental",
         }
 
     @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",
@@ -101,6 +101,12 @@ class TestExperimentsTinyScale:
         assert all(row[2] > 0 for row in exp.rows)  # wall ms measured
         assert exp.data["host_cores"] >= 1
         assert "core(s)" in exp.notes
+
+    def test_incremental_beats_full_recolor(self):
+        exp = ALL_EXPERIMENTS["incremental"](scale="tiny", threads=4)
+        assert len(exp.rows) == 4
+        for row in exp.data["rows"]:
+            assert row["ratio"] is None or row["ratio"] > 1
 
     def test_table6_baseline_rows_are_one(self):
         exp = ALL_EXPERIMENTS["table6"](scale="tiny", threads=8)

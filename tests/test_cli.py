@@ -190,3 +190,88 @@ class TestCliErrors:
         assert code == 2
         assert "worker process died" in capsys.readouterr().err
         assert set(glob.glob("/dev/shm/repro_shm_*")) == before
+
+
+class TestCliDelta:
+    """``--delta``: incremental recoloring from the CLI (docs/incremental.md)."""
+
+    @pytest.fixture
+    def delta_file(self, mtx_file, tmp_path):
+        import json
+
+        from repro.graph.mmio import read_matrix_market
+
+        bg = read_matrix_market(mtx_file)
+        existing = {
+            (u, int(n)) for u in range(bg.num_vertices) for n in bg.nets(u)
+        }
+        delete = sorted(existing)[0]
+        insert = next(
+            (u, n)
+            for u in range(bg.num_vertices)
+            for n in range(bg.num_nets)
+            if (u, n) not in existing
+        )
+        path = tmp_path / "delta.json"
+        path.write_text(
+            json.dumps({"insert": [list(insert)], "delete": [list(delete)]})
+        )
+        return path
+
+    def test_delta_run_prints_savings(self, mtx_file, delta_file, tmp_path, capsys):
+        out_path = tmp_path / "colors.txt"
+        code = main(
+            [str(mtx_file), "--algo", "V-V", "--delta", str(delta_file),
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta    :" in out
+        assert "frontier" in out
+        assert "recolor  :" in out
+        assert "saved    :" in out
+        # --output writes the incremental colors of the mutated graph
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 30
+        assert all(int(line) >= 0 for line in lines)
+
+    def test_delete_only_zero_work_path(self, mtx_file, delta_file, tmp_path, capsys):
+        import json
+
+        payload = json.loads(delta_file.read_text())
+        delta = tmp_path / "del.json"
+        delta.write_text(json.dumps({"delete": payload["delete"]}))
+        assert main([str(mtx_file), "--algo", "V-V", "--delta", str(delta)]) == 0
+        assert "zero-work fast path" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags, pattern",
+        [
+            (["--backend", "numpy"], "numpy"),
+            (["--algorithm", "sequential"], "sequential"),
+            (["--problem", "d2gc"], "bgpc"),
+            (["--ordering", "smallest-last"], "natural"),
+        ],
+    )
+    def test_incompatible_flags_exit_2(
+        self, mtx_file, delta_file, capsys, flags, pattern
+    ):
+        code = main([str(mtx_file), "--delta", str(delta_file), *flags])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and pattern in err
+
+    def test_bad_delta_files_exit_2(self, mtx_file, tmp_path, capsys):
+        missing = main([str(mtx_file), "--delta", str(tmp_path / "nope.json")])
+        assert missing == 2
+        assert "cannot read delta" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"bogus": []}')
+        assert main([str(mtx_file), "--delta", str(bad)]) == 2
+        assert "unknown delta fields" in capsys.readouterr().err
+        phantom = tmp_path / "phantom.json"
+        phantom.write_text('{"insert": [[0, 0], [0, 0]]}')
+        # duplicate pairs canonicalize; inserting an existing edge is the
+        # graceful ReproError path through _run
+        code = main([str(mtx_file), "--delta", str(phantom)])
+        assert code in (0, 2)

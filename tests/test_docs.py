@@ -11,7 +11,12 @@ Four invariants keep the docs from drifting:
   a bare name present in the referencing module's namespace;
 * every ``python -m repro...`` invocation quoted in a shell code block
   parses against the real argparse tree of the module it names, so a
-  renamed or removed flag cannot leave stale commands in the docs.
+  renamed or removed flag cannot leave stale commands in the docs;
+* every complete JSON object quoted in a ``json`` code block actually
+  parses, and any ``"op"`` it names is an op the wire protocol defines —
+  so the protocol examples in ``docs/service.md`` / ``docs/incremental.md``
+  cannot drift from the server.  Objects (or lines) containing
+  placeholder tokens (``…``, ``...``, ``→``) are illustrative and skipped.
 """
 
 from __future__ import annotations
@@ -174,6 +179,75 @@ def test_quoted_cli_invocations_parse(doc):
         except SystemExit:
             bad.append(f"{command!r}: does not parse")
     assert not bad, f"{doc.relative_to(REPO_ROOT)}: stale CLI commands: {bad}"
+
+
+_JSON_FENCE_RE = re.compile(
+    r"^```json\s*$(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+#: Tokens marking a JSON example (or one line of it) as illustrative.
+_JSON_PLACEHOLDERS = ("…", "...", "→")
+
+
+def _json_documents(text: str) -> list[str]:
+    """Every complete JSON object quoted in a ``json`` code block.
+
+    A fence whose whole body is one object (and placeholder-free) yields
+    that body; otherwise each placeholder-free *line* that looks like a
+    complete object (``{…}``) yields individually — this covers fences
+    that stack several one-line request/response examples.
+    """
+    documents = []
+    for fence in _JSON_FENCE_RE.finditer(text):
+        body = fence.group(1).strip()
+        if not body:
+            continue
+        if (
+            body.startswith("{")
+            and body.endswith("}")
+            and not any(tok in body for tok in _JSON_PLACEHOLDERS)
+        ):
+            documents.append(body)
+            continue
+        for line in body.splitlines():
+            line = line.strip()
+            if (
+                line.startswith("{")
+                and line.endswith("}")
+                and not any(tok in line for tok in _JSON_PLACEHOLDERS)
+            ):
+                documents.append(line)
+    return documents
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_quoted_json_examples_parse(doc):
+    """``json``-block wire examples must parse and name only real ops."""
+    import json
+
+    from repro.service.protocol import OPS
+
+    bad = []
+    for document in _json_documents(doc.read_text(encoding="utf-8")):
+        try:
+            obj = json.loads(document)
+        except ValueError as exc:
+            bad.append(f"{document[:60]!r}: invalid JSON ({exc})")
+            continue
+        if isinstance(obj, dict) and "op" in obj and obj["op"] not in OPS:
+            bad.append(f"{document[:60]!r}: unknown op {obj['op']!r}")
+    assert not bad, f"{doc.relative_to(REPO_ROOT)}: bad JSON examples: {bad}"
+
+
+def test_json_example_scan_finds_the_wire_docs():
+    """The scanner must see the protocol pages' examples (guards the regex)."""
+    service = (REPO_ROOT / "docs" / "service.md").read_text(encoding="utf-8")
+    incremental = (
+        REPO_ROOT / "docs" / "incremental.md"
+    ).read_text(encoding="utf-8")
+    assert len(_json_documents(service)) >= 3
+    assert len(_json_documents(incremental)) >= 2
 
 
 @pytest.mark.parametrize("path", MODULE_FILES, ids=_module_name)

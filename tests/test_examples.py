@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "hypergraph_coloring.py",
     "distributed_coloring.py",
     "coloring_service.py",
+    "incremental_recolor.py",
 ]
 
 

@@ -25,17 +25,20 @@ from repro.graph.build import bipartite_from_edges
 from repro.graph.csr import CSR
 from repro.obs.tracer import RecordingTracer
 from repro.obs.work import WORK_METRICS
+from repro.graph.delta import GraphDelta
 from repro.service import (
     ColoringCache,
     ColoringRequest,
     ColoringServer,
     ColoringService,
+    DeltaRequest,
     ServiceClient,
     SizeRouter,
     graph_fingerprint,
     request_key,
 )
 from repro.service.protocol import (
+    delta_from_wire,
     graph_from_wire,
     graph_to_wire,
     parse_request,
@@ -390,6 +393,212 @@ class TestServer:
         stats, ack = _run(run())
         assert ack["ok"] and ack["shutting_down"]
         assert stats["stats"]["requests"] == 1
+
+
+# -- delta op: incremental recoloring over the service ----------------------
+
+
+class TestDeltaOp:
+    """The service `delta` path (docs/incremental.md).
+
+    Regression bar: empty and delete-only deltas must short-circuit
+    without dispatching a batch — `executed` stays flat and the charged
+    work is zero.
+    """
+
+    CONFIG = dict(algorithm="V-V", backend="sim", threads=2)
+
+    def _delta_req(self, fingerprint, delta):
+        return DeltaRequest(fingerprint=fingerprint, delta=delta, **self.CONFIG)
+
+    def test_empty_delta_is_pure_cache_hit(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                base = await service.submit(
+                    ColoringRequest(graph=bg, **self.CONFIG)
+                )
+                resp = await service.submit_delta(
+                    self._delta_req(graph_fingerprint(bg), GraphDelta())
+                )
+                return base, resp, service
+
+        base, resp, service = _run(run())
+        assert resp.cached and resp.frontier_size == 0
+        assert service.executed == 1  # regression: nothing dispatched
+        assert resp.result.colors.tobytes() == base.result.colors.tobytes()
+
+    def test_delete_only_short_circuits_and_recaches(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                base = await service.submit(
+                    ColoringRequest(graph=bg, **self.CONFIG)
+                )
+                delta = GraphDelta(delete=[(2, 3)])
+                first = await service.submit_delta(
+                    self._delta_req(graph_fingerprint(bg), delta)
+                )
+                repeat = await service.submit_delta(
+                    self._delta_req(graph_fingerprint(bg), delta)
+                )
+                return base, first, repeat, service
+
+        base, first, repeat, service = _run(run())
+        assert service.executed == 1  # regression: no batch for deletions
+        assert not first.cached and first.frontier_size == 0
+        assert all(v == 0 for v in first.work_metrics.values())
+        assert first.key != base.key  # cached under the mutated fingerprint
+        assert first.result.colors.tobytes() == base.result.colors.tobytes()
+        assert repeat.cached  # the synchronous result was re-cached
+
+    def test_insert_delta_runs_incrementally_and_chains(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                base = await service.submit(
+                    ColoringRequest(graph=bg, **self.CONFIG)
+                )
+                fwd = await service.submit_delta(
+                    self._delta_req(
+                        graph_fingerprint(bg), GraphDelta(insert=[(0, 1)])
+                    )
+                )
+                back = await service.submit_delta(
+                    self._delta_req(
+                        fwd.key.split(":", 1)[0],
+                        GraphDelta(delete=[(0, 1)]),
+                    )
+                )
+                return base, fwd, back, service
+
+        base, fwd, back, service = _run(run())
+        assert service.executed == 2 and service.delta_requests == 2
+        assert fwd.frontier_size > 0
+        assert sum(fwd.work_metrics.values()) > 0
+        work = lambda m: m.get("probes", 0) + m.get("conflict_checks", 0)
+        assert work(fwd.work_metrics) < work(base.work_metrics)
+        # deleting the inserted edge chains back to the base fingerprint
+        assert back.key.split(":", 1)[0] == graph_fingerprint(bg)
+        assert service.stats()["graphs_remembered"] >= 2
+
+    def test_unknown_fingerprint_and_config_mismatch(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                with pytest.raises(ServiceError, match="unknown graph"):
+                    await service.submit_delta(
+                        self._delta_req("feedbeef", GraphDelta(insert=[(0, 1)]))
+                    )
+                # base colored under V-V; ask the delta under N1-N2
+                await service.submit(ColoringRequest(graph=bg, **self.CONFIG))
+                with pytest.raises(ServiceError, match="no cached coloring"):
+                    await service.submit_delta(
+                        DeltaRequest(
+                            fingerprint=graph_fingerprint(bg),
+                            delta=GraphDelta(insert=[(0, 1)]),
+                            algorithm="N1-N2", backend="sim", threads=2,
+                        )
+                    )
+
+        _run(run())
+
+    def test_sequential_and_bad_delta_rejected(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                await service.submit(ColoringRequest(graph=bg, **self.CONFIG))
+                with pytest.raises(ServiceError, match="sequential"):
+                    await service.submit_delta(
+                        DeltaRequest(
+                            fingerprint=graph_fingerprint(bg),
+                            delta=GraphDelta(insert=[(0, 1)]),
+                            algorithm="sequential",
+                        )
+                    )
+                with pytest.raises(ServiceError, match="GraphDelta"):
+                    await service.submit_delta(
+                        DeltaRequest(
+                            fingerprint=graph_fingerprint(bg),
+                            delta={"insert": [[0, 1]]},
+                        )
+                    )
+                # a phantom deletion surfaces as a ServiceError, not a crash
+                with pytest.raises(ServiceError, match="missing edge"):
+                    await service.submit_delta(
+                        self._delta_req(
+                            graph_fingerprint(bg), GraphDelta(delete=[(0, 1)])
+                        )
+                    )
+
+        _run(run())
+
+    def test_numpy_request_rerouted_to_resumable_backend(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                await service.submit(ColoringRequest(graph=bg, **self.CONFIG))
+                resp = await service.submit_delta(
+                    DeltaRequest(
+                        fingerprint=graph_fingerprint(bg),
+                        delta=GraphDelta(insert=[(0, 1)]),
+                        algorithm="V-V", backend="numpy", threads=2,
+                    )
+                )
+                return resp
+
+        resp = _run(run())
+        assert resp.backend == "sim"  # numpy cannot resume partial colorings
+
+    def test_delta_from_wire_validation(self):
+        delta = delta_from_wire({"insert": [[0, 1]], "delete": [[2, 3]]})
+        assert isinstance(delta, GraphDelta)
+        assert delta.num_insertions == delta.num_deletions == 1
+        for bad, pattern in (
+            ([["not", "a", "dict"]], "JSON object"),
+            ({"insert": [[0, 1]], "bogus": 1}, "unknown delta fields"),
+            ({"insert": [[0, 1, 2]]}, "bad delta"),
+            ({"insert": [[0, 1]], "delete": [[0, 1]]}, "bad delta"),
+        ):
+            with pytest.raises(ServiceError, match=pattern):
+                delta_from_wire(bad)
+
+    def test_wire_round_trip(self, bg):
+        def work(host, port):
+            with ServiceClient(host, port) as client:
+                base = client.color(bg, **self.CONFIG)
+                fwd = client.delta(
+                    base["fingerprint"], insert=[(0, 1)], **self.CONFIG
+                )
+                back = client.delta(
+                    fwd["fingerprint"], delete=[(0, 1)], **self.CONFIG
+                )
+                missing = client.request({"op": "delta", "id": 5})
+                no_delta = client.request(
+                    {"op": "delta", "fingerprint": "ab", "id": 6}
+                )
+                bad_field = client.request(
+                    {"op": "delta", "fingerprint": base["fingerprint"],
+                     "delta": {"bogus": []}, "id": 7}
+                )
+                return base, fwd, back, missing, no_delta, bad_field
+
+        async def run():
+            service = ColoringService()
+            server = ColoringServer(service, host="127.0.0.1", port=0)
+            await server.start()
+            try:
+                return await asyncio.to_thread(work, server.host, server.port)
+            finally:
+                await server.close()
+
+        base, fwd, back, missing, no_delta, bad_field = _run(run())
+        assert base["ok"] and "fingerprint" in base
+        assert fwd["ok"] and fwd["frontier_size"] > 0
+        assert fwd["fingerprint"] != base["fingerprint"]
+        assert fwd["num_colors"] >= 1 and len(fwd["colors"]) == len(base["colors"])
+        assert back["ok"] and back["fingerprint"] == base["fingerprint"]
+        assert missing["ok"] is False and "fingerprint" in missing["error"]
+        assert missing["id"] == 5
+        assert no_delta["ok"] is False and "delta" in no_delta["error"]
+        assert (
+            bad_field["ok"] is False
+            and "unknown delta fields" in bad_field["error"]
+        )
 
 
 # -- python -m repro.serve --------------------------------------------------

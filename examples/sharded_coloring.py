@@ -1,0 +1,71 @@
+"""Sharded coloring — the distributed superstep protocol, really executed.
+
+``backend="sharded"`` runs the interior/boundary protocol of
+``distributed_bgpc`` on a real pool of worker processes: the graph is
+partitioned across shards, interior vertices are colored per-shard with no
+cross-talk, and boundary vertices are resolved in bulk-synchronous
+supersteps that exchange packed ``(vertex, color)`` frontier arrays.  The
+``shard.*`` work metrics report the *actual* traffic, not a model charge.
+
+This example sweeps the registered partitioners on a 3D channel mesh,
+shows how partition quality turns into boundary size and exchanged words,
+and checks the backend against the distributed simulator (the oracle).
+
+Run:  python examples/sharded_coloring.py
+"""
+
+import numpy as np
+
+from repro import color_bgpc, validate_bgpc
+from repro.datasets import channel_mesh
+from repro.dist import distributed_bgpc, get_partitioner, partitioner_names
+from repro.graph.bipartite import BipartiteGraph
+
+SHARDS = 2
+bg = channel_mesh(nx=8, ny=6, nz=6)
+print(f"instance: {bg}  ({SHARDS} shards)\n")
+
+# Sweep the partitioner registry: boundary fraction and real exchanged
+# words are what an edge-cut-aware partition buys.
+print(f"{'partitioner':<12} {'colors':>6} {'boundary':>8} {'steps':>5} "
+      f"{'conflicts':>9} {'words':>6} {'msgs':>5}")
+results = {}
+for name in partitioner_names():
+    result = color_bgpc(
+        bg, "V-V", threads=SHARDS, backend="sharded", partitioner=name
+    )
+    validate_bgpc(bg, result.colors)
+    results[name] = result
+    wm = result.work_metrics
+    print(
+        f"{name:<12} {result.num_colors:>6} {wm['shard.boundary']:>8} "
+        f"{wm['shard.supersteps']:>5} {wm['shard.conflicts']:>9} "
+        f"{wm['shard.comm_words']:>6} {wm['shard.comm_messages']:>5}"
+    )
+
+bfs = results["bfs"].work_metrics
+rnd = results["random"].work_metrics
+assert bfs["shard.boundary"] < rnd["shard.boundary"], (
+    "BFS partition should cut the boundary below random's"
+)
+assert bfs["shard.comm_words"] < rnd["shard.comm_words"]
+print(
+    f"\nBFS vs random: boundary {bfs['shard.boundary']} vs "
+    f"{rnd['shard.boundary']}, words {bfs['shard.comm_words']} vs "
+    f"{rnd['shard.comm_words']} — topology-aware partitions pay off in "
+    "real communication."
+)
+
+# The distributed simulator stays the reference oracle: same partition and
+# batch give exactly the same colors, supersteps and conflicts.  (Partition
+# the backend's own constraint-group view — net orderings differ.)
+gview = BipartiteGraph.from_net_to_vtxs(bg.net_to_vtxs)
+part = get_partitioner("bfs")(gview, SHARDS)
+oracle = distributed_bgpc(bg, ranks=SHARDS, batch=100, partition=part)
+assert np.array_equal(results["bfs"].colors, oracle.colors)
+assert bfs["shard.supersteps"] == oracle.supersteps
+assert bfs["shard.conflicts"] == oracle.conflicts
+print(
+    f"oracle parity: {oracle.num_colors} colors, {oracle.supersteps} "
+    "supersteps, colors identical to the simulator."
+)

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     profile,
     scaling,
     serve,
+    shards,
 )
 
 ALL_EXPERIMENTS = {
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "profile": profile.run,
     "scaling": scaling.run,
     "serve": serve.run,
+    "shards": shards.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

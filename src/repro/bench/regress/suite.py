@@ -11,7 +11,11 @@ byte-for-byte reproducible across runs and machines:
 * ``numpy`` is single-process vectorized code — deterministic;
 * ``threaded`` and ``process`` race for real with >1 worker, so their
   cases run with **one** worker: the point is covering their code paths
-  (local-counter merge, cross-process aggregation), not their races.
+  (local-counter merge, cross-process aggregation), not their races;
+* ``sharded`` commits only at superstep barriers, so it is deterministic
+  at **any** shard count — its multi-shard cases additionally pin the
+  ``shard.*`` structure metrics (boundary size, supersteps, exchanged
+  words; see :data:`repro.obs.work.SHARD_METRICS`).
 
 Instances are built lazily and memoized per process so a ``--repeats``
 determinism check does not pay the generation cost twice.
@@ -37,11 +41,18 @@ def _graph_small():
     return random_graph(200, 800, seed=11)
 
 
+def _mesh_small():
+    from repro.datasets.synthetic import channel_mesh
+
+    return channel_mesh(6, 5, 5)
+
+
 #: Instance name → zero-argument builder.  Adding an instance here makes it
 #: addressable from :class:`BenchCase.instance`.
 INSTANCES = {
     "bip-small": _bipartite_small,
     "uni-small": _graph_small,
+    "mesh-small": _mesh_small,
 }
 
 _instance_cache: dict[str, object] = {}
@@ -152,6 +163,26 @@ def default_suite() -> list[BenchCase]:
         BenchCase(
             "bgpc/N1-N2/process1", "bgpc", "bip-small", "N1-N2",
             backend="process", threads=1,
+        ),
+        # Sharded backend: deterministic at any shard count.  One shard is
+        # the byte-parity anchor with process@1; the two-shard bfs/random
+        # pair pins the partition-quality gap (boundary, exchanged words)
+        # on the mesh, and the d2gc case covers the generic-group path.
+        BenchCase(
+            "bgpc/V-V/sharded1", "bgpc", "bip-small", "V-V",
+            backend="sharded", threads=1,
+        ),
+        BenchCase(
+            "bgpc/V-V/sharded2-bfs", "bgpc", "mesh-small", "V-V",
+            backend="sharded", threads=2, extra={"partitioner": "bfs"},
+        ),
+        BenchCase(
+            "bgpc/V-V/sharded2-random", "bgpc", "mesh-small", "V-V",
+            backend="sharded", threads=2, extra={"partitioner": "random"},
+        ),
+        BenchCase(
+            "d2gc/V-V/sharded2-greedy", "d2gc", "uni-small", "V-V",
+            backend="sharded", threads=2, extra={"partitioner": "greedy"},
         ),
         # Incremental recoloring: frontier-restricted resume after a pinned
         # localized delta; pins the two-hop invalidation math.

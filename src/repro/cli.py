@@ -8,6 +8,7 @@ Usage::
     python -m repro input.mtx --backend numpy --fastpath-mode speculative
     python -m repro input.mtx --backend threaded --algo V-V-64D
     python -m repro input.mtx --backend process --threads 4
+    python -m repro input.mtx --backend sharded --shards 4 --partitioner bfs
     python -m repro input.mtx --profile --trace run.jsonl
     python -m repro input.mtx --work-metrics
     python -m repro input.mtx --algo V-V --delta changes.json
@@ -34,6 +35,7 @@ from repro.core.d2gc import color_d2gc, sequential_d2gc
 from repro.core.metrics import color_stats
 from repro.core.policies import POLICIES, get_policy
 from repro.core.validate import validate_bgpc, validate_d2gc
+from repro.dist.partition import partitioner_names
 from repro.graph.mmio import read_matrix_market
 from repro.graph.ops import bipartite_to_graph
 from repro.order import ORDERINGS, get_ordering
@@ -76,8 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="sim",
         help="execution backend: the cycle-accurate simulator (sim, "
         "default), the vectorized wall-clock NumPy fast path (numpy), "
-        "real Python threads (threaded), or a shared-memory worker-process "
-        "pool (process); see docs/backends.md",
+        "real Python threads (threaded), a shared-memory worker-process "
+        "pool (process), or partitioned superstep coloring on that pool "
+        "(sharded); see docs/backends.md and docs/sharding.md",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for --backend sharded (one worker process per "
+        "shard; defaults to --threads); see docs/sharding.md",
+    )
+    parser.add_argument(
+        "--partitioner",
+        default=None,
+        choices=partitioner_names(),
+        help="vertex partitioner for --backend sharded (default: bfs); "
+        "see docs/sharding.md",
     )
     parser.add_argument(
         "--fastpath-mode",
@@ -166,6 +184,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
 
+    if args.backend != "sharded" and (
+        args.shards is not None or args.partitioner is not None
+    ):
+        print(
+            "error: --shards/--partitioner apply only to --backend sharded",
+            file=sys.stderr,
+        )
+        return 2
+
     delta = None
     if args.delta:
         # Incremental recoloring resumes the kernel loop in place, which
@@ -179,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.backend == "numpy":
             reason = ("--delta cannot run on --backend numpy (the fast "
                       "path cannot resume a partial coloring)")
+        elif args.backend == "sharded":
+            reason = ("--delta cannot run on --backend sharded (the "
+                      "interior/boundary split assumes a fresh palette)")
         elif args.ordering != "natural":
             reason = ("--delta requires --ordering natural (a permuted "
                       "coloring cannot be resumed in place)")
@@ -224,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args, bg, policy, tracer=None, delta=None) -> int:
+    threads = args.threads
+    backend_options = {}
+    if args.backend == "sharded":
+        if args.shards is not None:
+            threads = args.shards
+        backend_options["partitioner"] = args.partitioner or "bfs"
     if args.problem == "bgpc":
         instance = bg
         order = (
@@ -239,12 +275,13 @@ def _run(args, bg, policy, tracer=None, delta=None) -> int:
             result = color_bgpc(
                 instance,
                 algorithm=args.algorithm,
-                threads=args.threads,
+                threads=threads,
                 policy=policy,
                 order=order,
                 backend=args.backend,
                 fastpath_mode=args.fastpath_mode,
                 tracer=tracer,
+                **backend_options,
             )
         validate_bgpc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -264,12 +301,13 @@ def _run(args, bg, policy, tracer=None, delta=None) -> int:
             result = color_d2gc(
                 instance,
                 algorithm=args.algorithm,
-                threads=args.threads,
+                threads=threads,
                 policy=policy,
                 order=order,
                 backend=args.backend,
                 fastpath_mode=args.fastpath_mode,
                 tracer=tracer,
+                **backend_options,
             )
         validate_d2gc(instance, result.colors)
         lower = instance.color_lower_bound()
@@ -294,6 +332,11 @@ def _run(args, bg, policy, tracer=None, delta=None) -> int:
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"{result.threads} worker processes (process backend, shared "
               f"memory), ordering {args.ordering}, policy {policy_label}")
+    elif result.backend == "sharded":
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"{result.threads} shards (sharded backend, "
+              f"{args.partitioner or 'bfs'} partition), "
+              f"ordering {args.ordering}, policy {policy_label}")
     else:
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"{result.threads} simulated threads, ordering {args.ordering}, "
@@ -306,6 +349,12 @@ def _run(args, bg, policy, tracer=None, delta=None) -> int:
         print(f"wall     : {result.wall_seconds * 1000:.1f} ms (measured)")
     print(f"classes  : min {stats.min} / mean {stats.mean:.1f} / max {stats.max}, "
           f"std {stats.std:.2f}")
+    if result.backend == "sharded":
+        wm = result.work_metrics
+        print(f"shards   : interior {wm['shard.interior']} / boundary "
+              f"{wm['shard.boundary']}, {wm['shard.supersteps']} supersteps, "
+              f"{wm['shard.comm_words']} words / {wm['shard.comm_messages']} "
+              f"messages exchanged")
     inc = None
     if delta is not None:
         from repro.core.incremental import recolor_incremental

@@ -682,7 +682,22 @@ class ExecutionBackend(Protocol):
         tracer=None,
         initial_colors: np.ndarray | None = None,
         initial_work: np.ndarray | None = None,
+        **options,
     ) -> ColoringResult: ...
+
+
+def _reject_options(backend: str, options: dict) -> None:
+    """Fail loudly on backend options this backend does not understand.
+
+    ``run_speculative`` forwards free-form ``**backend_options`` (e.g. the
+    sharded backend's ``partitioner``/``batch``/``seed``); a backend that
+    does not consume them must reject rather than silently ignore.
+    """
+    if options:
+        names = ", ".join(sorted(options))
+        raise ColoringError(
+            f"backend={backend!r} does not accept option(s): {names}"
+        )
 
 
 class _KernelLoopBackend:
@@ -711,9 +726,11 @@ class _KernelLoopBackend:
         tracer=None,
         initial_colors=None,
         initial_work=None,
+        **options,
     ) -> ColoringResult:
         from repro.obs.tracer import ensure_tracer
 
+        _reject_options(self.name, options)
         tracer = ensure_tracer(tracer)
         if initial_colors is None:
             colors = np.full(adapter.n_targets, UNCOLORED, dtype=np.int64)
@@ -797,10 +814,12 @@ class ProcessBackend:
         tracer=None,
         initial_colors=None,
         initial_work=None,
+        **options,
     ) -> ColoringResult:
         from repro.core import procworker
         from repro.obs.tracer import ensure_tracer
 
+        _reject_options(self.name, options)
         if not hasattr(adapter, "process_spec"):
             raise ColoringError(
                 "backend='process' needs an adapter with process_spec() "
@@ -864,11 +883,13 @@ class NumpyBackend:
         tracer=None,
         initial_colors=None,
         initial_work=None,
+        **options,
     ) -> ColoringResult:
         from repro.core.fastpath.engine import run_fastpath
         from repro.obs.tracer import ensure_tracer
         from repro.obs.work import WorkCounters
 
+        _reject_options(self.name, options)
         if initial_colors is not None or initial_work is not None:
             raise ColoringError(
                 "backend='numpy' cannot resume from a partial coloring "
@@ -952,3 +973,14 @@ register_backend(SimBackend())
 register_backend(NumpyBackend())
 register_backend(ThreadedBackend())
 register_backend(ProcessBackend())
+
+
+def _register_sharded() -> None:
+    # Deferred to the bottom: repro.dist imports back into this module
+    # (hybrid_bgpc uses get_backend), so the registry must exist first.
+    from repro.dist.sharded import ShardedBackend
+
+    register_backend(ShardedBackend())
+
+
+_register_sharded()

@@ -115,6 +115,7 @@ def color_bgpc(
     backend: str = "sim",
     fastpath_mode: str = "exact",
     tracer=None,
+    **backend_options,
 ) -> ColoringResult:
     """Color the ``V_A`` side of ``bg`` with one of the paper's algorithms.
 
@@ -154,6 +155,9 @@ def color_bgpc(
         Optional :class:`repro.obs.Tracer` receiving structured
         per-iteration/per-phase events (see ``docs/observability.md``);
         ``None`` (default) traces nothing at zero cost.
+    **backend_options:
+        Forwarded to the backend verbatim — e.g. the sharded backend's
+        ``partitioner`` / ``batch`` / ``seed`` (see ``docs/sharding.md``).
 
     Returns
     -------
@@ -176,6 +180,7 @@ def color_bgpc(
         backend=backend,
         fastpath_mode=fastpath_mode,
         tracer=tracer,
+        **backend_options,
     )
     return _restore_order(result, perm)
 

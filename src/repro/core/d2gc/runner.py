@@ -113,6 +113,7 @@ def color_d2gc(
     backend: str = "sim",
     fastpath_mode: str = "exact",
     tracer=None,
+    **backend_options,
 ) -> ColoringResult:
     """Distance-2 color ``g`` with one of the paper's parallel algorithms.
 
@@ -135,6 +136,7 @@ def color_d2gc(
         backend=backend,
         fastpath_mode=fastpath_mode,
         tracer=tracer,
+        **backend_options,
     )
     return _restore_order(result, perm)
 

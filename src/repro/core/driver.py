@@ -85,6 +85,7 @@ def run_speculative(
     backend: str = "sim",
     fastpath_mode: str = "exact",
     tracer=None,
+    **backend_options,
 ) -> ColoringResult:
     """Run the full speculative loop of ``spec`` on the chosen backend.
 
@@ -112,6 +113,11 @@ def run_speculative(
     is bounded by a provable ``n + 1`` rounds instead) and honouring
     ``fastpath_mode`` — ``"exact"`` for byte-identical sequential-greedy
     colors, ``"speculative"`` for the fastest few-round variant.
+
+    Extra keyword arguments are forwarded to the backend verbatim
+    (``backend_options``): the sharded backend takes ``partitioner`` /
+    ``batch`` / ``seed`` this way (see ``docs/sharding.md``).  Backends
+    reject options they do not understand with :class:`ColoringError`.
 
     ``tracer`` hooks the run into the observability layer
     (:mod:`repro.obs`): per-iteration and per-phase spans with queue sizes,
@@ -142,6 +148,7 @@ def run_speculative(
         max_iterations=max_iterations,
         fastpath_mode=fastpath_mode,
         tracer=tracer,
+        **backend_options,
     )
 
 

@@ -53,6 +53,7 @@ __all__ = [
     "parse_fault",
     "run_batch",
     "run_chunk",
+    "run_frontier",
     "warmup",
 ]
 
@@ -310,6 +311,51 @@ def run_chunk(args: tuple) -> tuple:
         meter.add_task(ctx)
     state.chunks_done += 1
     return os.getpid(), hi - lo, appends, meter.as_dict()
+
+
+def run_frontier(args: tuple) -> tuple:
+    """Color one rank's slice of boundary vertices against a private overlay.
+
+    ``args`` is ``(lo, hi)``: the tasks are ``work[lo:hi]`` (this rank's
+    boundary vertices for the superstep, in ascending global id).  Unlike
+    :func:`run_chunk`, nothing is written into the shared color segment:
+    the worker snapshots the committed colors, applies its own tentative
+    picks to the *private* copy (so later vertices in the slice see earlier
+    same-rank choices, exactly like the per-rank overlay of
+    :func:`repro.dist.distributed_bgpc`), and ships the picks back as two
+    packed int64 arrays — the sharded backend's actual frontier exchange,
+    which the parent commits and conflict-checks at the superstep barrier.
+
+    Returns ``(pid, ids, colors, work_dict)``.
+    """
+    from repro.obs.work import WorkCounters
+
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process worker used before init_worker")
+    lo, hi = args
+    state.maybe_fault()
+    kernel = state.kernel("color:vertex")
+    ctx = state.ctx
+    local = state.colors.copy()
+    meter = WorkCounters()
+    ids: list[int] = []
+    cols: list[int] = []
+    for task in state.work[lo:hi].tolist():
+        ctx.reset(local, 0, state.thread_state)
+        kernel(task, ctx)
+        for where, value in ctx.writes:
+            local[where] = value
+            ids.append(where)
+            cols.append(value)
+        meter.add_task(ctx)
+    state.chunks_done += 1
+    return (
+        os.getpid(),
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        meter.as_dict(),
+    )
 
 
 def run_batch(chunks: list) -> tuple:

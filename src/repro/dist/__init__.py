@@ -10,25 +10,44 @@ models both flavours on top of the repository's primitives:
 * :func:`hybrid_bgpc` — ranks of kernel-level multicore engines (intra-rank
   races plus cross-rank speculation, one resolver);
 * :func:`partition_contiguous` / :func:`partition_random` /
-  :func:`partition_bfs` — the owner arrays that decide the boundary size.
+  :func:`partition_bfs` / :func:`partition_greedy` — the owner arrays that
+  decide the boundary size, selectable by name through
+  :data:`~repro.dist.partition.PARTITIONERS`;
+* :class:`~repro.dist.sharded.ShardedBackend` — the *executing* flavour:
+  ``backend="sharded"`` runs the interior/boundary superstep protocol on a
+  real worker-process pool (see ``docs/sharding.md``), keeping
+  :func:`distributed_bgpc` as its reference oracle.
 """
 
 from repro.dist.hybrid import hybrid_bgpc
 from repro.dist.mpi import ClusterModel, SuperstepStats
 from repro.dist.partition import (
+    PARTITIONERS,
+    get_partitioner,
     partition_bfs,
     partition_contiguous,
+    partition_greedy,
     partition_random,
+    partitioner_names,
+    register_partitioner,
 )
-from repro.dist.superstep import DistributedResult, distributed_bgpc
+from repro.dist.sharded import ShardedBackend
+from repro.dist.superstep import DistributedResult, boundary_mask, distributed_bgpc
 
 __all__ = [
     "ClusterModel",
+    "PARTITIONERS",
     "SuperstepStats",
     "DistributedResult",
+    "ShardedBackend",
+    "boundary_mask",
     "distributed_bgpc",
+    "get_partitioner",
     "hybrid_bgpc",
     "partition_bfs",
     "partition_contiguous",
+    "partition_greedy",
     "partition_random",
+    "partitioner_names",
+    "register_partitioner",
 ]

@@ -1,9 +1,10 @@
-"""Vertex partitioners for the distributed BGPC framework.
+"""Vertex partitioners for the distributed/sharded BGPC framework.
 
 A partition assigns every ``V_A`` vertex an owning rank; its quality decides
 how many vertices are *boundary* (share a net with another rank's vertex)
 and therefore how much speculative cross-rank work and communication
-:func:`repro.dist.distributed_bgpc` pays.  Three classic strategies:
+:func:`repro.dist.distributed_bgpc` and ``backend="sharded"`` pay.  Four
+strategies:
 
 * :func:`partition_contiguous` — equal contiguous blocks of vertex ids
   (the naive default; locality only if the labeling has it);
@@ -11,18 +12,37 @@ and therefore how much speculative cross-rank work and communication
   maximizes the boundary, useful as a worst case);
 * :func:`partition_bfs` — BFS-grown parts over the vertex adjacency
   (topological locality regardless of labeling; small boundaries on
-  meshes).
+  meshes);
+* :func:`partition_greedy` — BFS seed plus edge-cut-aware greedy
+  refinement (moves a vertex to the rank owning most of its neighbors
+  when balance allows).
+
+Backends and the CLI select partitioners by name through the registry:
+:data:`PARTITIONERS` maps a name to a uniform ``fn(bg, ranks, seed=0)``
+callable; :func:`get_partitioner` resolves with a helpful error and
+:func:`register_partitioner` admits new strategies.  All partitioners are
+deterministic for a fixed ``(graph, ranks, seed)``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
 
-__all__ = ["partition_bfs", "partition_contiguous", "partition_random"]
+__all__ = [
+    "PARTITIONERS",
+    "get_partitioner",
+    "partition_bfs",
+    "partition_contiguous",
+    "partition_greedy",
+    "partition_random",
+    "partitioner_names",
+    "register_partitioner",
+]
 
 
 def partition_contiguous(n: int, ranks: int) -> np.ndarray:
@@ -41,17 +61,28 @@ def partition_random(n: int, ranks: int, seed: int = 0) -> np.ndarray:
     return rng.integers(0, ranks, size=n, dtype=np.int64)
 
 
-def partition_bfs(bg: BipartiteGraph, ranks: int) -> np.ndarray:
+def partition_bfs(
+    bg: BipartiteGraph, ranks: int, stats: dict | None = None
+) -> np.ndarray:
     """Grow ``ranks`` balanced parts by BFS over the vertex adjacency.
 
     Each part is grown breadth-first (through shared nets) from the
     lowest-numbered unassigned vertex until it holds ``ceil(n / ranks)``
     vertices, so parts are connected chunks of the *topology* rather than
     of the label space.  Sizes never exceed ``ceil(n / ranks) + 1``.
+
+    Vertices are marked on *enqueue* (per part), so the frontier deque
+    holds each vertex at most once and peaks at ``O(n)`` rather than the
+    ``O(E)`` duplicate growth a dense net would otherwise cause.  Pass a
+    ``stats`` dict to record the observed peak as ``stats["max_queue"]``.
     """
     n = bg.num_vertices
     target = -(-n // ranks)
     part = np.full(n, -1, dtype=np.int64)
+    # Stamp of the last part that enqueued each vertex: enqueue w for part
+    # r at most once, without blocking a later part from re-visiting it.
+    enqueued = np.full(n, -1, dtype=np.int64)
+    max_queue = 0
     next_seed = 0
     for r in range(ranks - 1):
         size = 0
@@ -63,6 +94,7 @@ def partition_bfs(bg: BipartiteGraph, ranks: int) -> np.ndarray:
                 if next_seed == n:
                     break
                 queue.append(next_seed)
+                enqueued[next_seed] = r
             u = queue.popleft()
             if part[u] != -1:
                 continue
@@ -70,7 +102,104 @@ def partition_bfs(bg: BipartiteGraph, ranks: int) -> np.ndarray:
             size += 1
             for net in bg.nets(u):
                 for w in bg.vtxs(net):
-                    if part[w] == -1:
+                    if part[w] == -1 and enqueued[w] != r:
+                        enqueued[w] = r
                         queue.append(int(w))
+            if len(queue) > max_queue:
+                max_queue = len(queue)
     part[part == -1] = ranks - 1
+    if stats is not None:
+        stats["max_queue"] = max_queue
     return part
+
+
+def partition_greedy(
+    bg: BipartiteGraph, ranks: int, seed: int = 0, passes: int = 2
+) -> np.ndarray:
+    """BFS seed plus edge-cut-aware greedy refinement.
+
+    Starts from :func:`partition_bfs`, then sweeps the vertices in
+    ascending id order (``passes`` times): a vertex moves to the rank that
+    owns the most of its net-neighbors when that strictly reduces its cut
+    edges and the destination stays within the BFS balance cap
+    ``ceil(n / ranks) + 1``.  Ties break toward the smaller rank id; the
+    result is deterministic (``seed`` is accepted for registry uniformity
+    and ignored).
+    """
+    del seed  # deterministic sweep; kept for the uniform registry signature
+    n = bg.num_vertices
+    part = partition_bfs(bg, ranks)
+    cap = -(-n // ranks) + 1
+    sizes = np.bincount(part, minlength=ranks).astype(np.int64)
+    for _ in range(passes):
+        moved = 0
+        for u in range(n):
+            counts: dict[int, int] = {}
+            for net in bg.nets(u):
+                for w in bg.vtxs(net):
+                    if w != u:
+                        owner = int(part[w])
+                        counts[owner] = counts.get(owner, 0) + 1
+            if not counts:
+                continue
+            cur = int(part[u])
+            best, best_count = cur, counts.get(cur, 0)
+            for owner in sorted(counts):
+                if counts[owner] > best_count and sizes[owner] + 1 <= cap:
+                    best, best_count = owner, counts[owner]
+            if best != cur:
+                part[u] = best
+                sizes[cur] -= 1
+                sizes[best] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return part
+
+
+# --------------------------------------------------------------------------
+# Registry: name -> uniform ``fn(bg, ranks, seed=0) -> owner array``.
+
+
+def _by_contiguous(bg: BipartiteGraph, ranks: int, seed: int = 0) -> np.ndarray:
+    del seed
+    return partition_contiguous(bg.num_vertices, ranks)
+
+
+def _by_random(bg: BipartiteGraph, ranks: int, seed: int = 0) -> np.ndarray:
+    return partition_random(bg.num_vertices, ranks, seed=seed)
+
+
+def _by_bfs(bg: BipartiteGraph, ranks: int, seed: int = 0) -> np.ndarray:
+    del seed
+    return partition_bfs(bg, ranks)
+
+
+Partitioner = Callable[..., np.ndarray]
+
+#: Registered partitioners, keyed by the name the CLI / backend accept.
+PARTITIONERS: dict[str, Partitioner] = {
+    "contiguous": _by_contiguous,
+    "random": _by_random,
+    "bfs": _by_bfs,
+    "greedy": partition_greedy,
+}
+
+
+def register_partitioner(name: str, fn: Partitioner) -> None:
+    """Admit a new named partitioner with the uniform call signature."""
+    PARTITIONERS[name] = fn
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Resolve a partitioner by name, or raise listing the known names."""
+    try:
+        return PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PARTITIONERS))
+        raise ValueError(f"unknown partitioner {name!r} (known: {known})") from None
+
+
+def partitioner_names() -> tuple[str, ...]:
+    """The registered partitioner names, sorted."""
+    return tuple(sorted(PARTITIONERS))

@@ -1,0 +1,365 @@
+"""``backend="sharded"``: really-executing partitioned coloring.
+
+Where :func:`repro.dist.distributed_bgpc` *models* a cluster (its
+communication is charged to :class:`~repro.dist.mpi.ClusterModel` and every
+"rank" runs in the parent process), this backend executes the same
+interior/boundary superstep protocol on a persistent pool of worker
+processes — the shared-memory substrate PR 4 built for ``backend="process"``
+(:class:`~repro.core.backends.ProcessPhaseEngine` +
+:mod:`repro.core.procworker`):
+
+1. **Partition.**  ``V_A`` is split across ``threads`` shards by a named
+   partitioner from the :data:`repro.dist.partition.PARTITIONERS` registry
+   (``partitioner="bfs"`` by default).  The partition is computed on the
+   adapter's generic constraint-group view
+   (:meth:`~repro.core.driver.ProblemAdapter.fastpath_groups`), so BGPC and
+   D2GC shard through the same code.
+2. **Interior.**  Vertices whose constraint groups stay within one shard
+   are colored per-shard with zero cross-talk: one
+   :func:`~repro.core.procworker.run_chunk` slice per shard, writing
+   straight into the shared color segment.  Interior vertices of different
+   shards never share a group (a shared group makes both *boundary*), so
+   the phase is deterministic at any shard count.
+3. **Boundary supersteps.**  The remaining vertices are resolved in
+   batched bulk-synchronous rounds: each shard colors its slice of the
+   batch against a private snapshot of the committed palette
+   (:func:`~repro.core.procworker.run_frontier`) and ships its picks back
+   as packed ``(ids, colors)`` int64 arrays — the *actual* frontier
+   exchange, counted into ``shard.comm_words`` / ``shard.comm_messages``
+   instead of a model charge.  The parent commits the exchange, detects
+   cross-shard conflicts (smaller vertex id wins, exactly the oracle's
+   rule) and re-queues the losers.
+
+Given the same partition and batch size the colors, superstep count and
+conflict count are **equal** to :func:`repro.dist.distributed_bgpc` — the
+simulator stays the reference oracle and a parity test enforces it.  With
+one shard every vertex is interior and the run is byte-identical to
+``backend="process"`` at one worker.
+
+Determinism contract: partitioners are deterministic per
+``(graph, ranks, seed)``; interior shards touch disjoint color entries;
+supersteps commit only at barriers.  Unlike ``threaded``/``process``,
+results are therefore deterministic at *any* shard count, which is why
+multi-shard cases can sit in the pinned regress suite.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.errors import ColoringError
+from repro.types import ColoringResult, IterationRecord, UNCOLORED
+
+__all__ = ["ShardedBackend"]
+
+
+def _detect_losers(bg, batch: np.ndarray, colors: np.ndarray, work) -> list[int]:
+    """Batch vertices losing a same-color tie to a smaller-id neighbor.
+
+    Mirrors the oracle's ``_conflicted`` exactly (same early exits, same
+    order) while also counting the adjacency entries examined into
+    ``work.conflict_checks``.
+    """
+    losers = []
+    checks = 0
+    for u in batch.tolist():
+        cu = colors[u]
+        lost = False
+        for net in bg.nets(u):
+            for w in bg.vtxs(net):
+                checks += 1
+                if w < u and colors[w] == cu:
+                    lost = True
+                    break
+            if lost:
+                break
+        if lost:
+            losers.append(u)
+    work.add("conflict_checks", checks)
+    return losers
+
+
+class ShardedBackend:
+    """Partitioned superstep coloring on a worker-process pool.
+
+    ``threads`` is the shard count (one worker process per shard).  Extra
+    options beyond the common backend signature:
+
+    ``partitioner``
+        Name from :data:`repro.dist.partition.PARTITIONERS`
+        (default ``"bfs"``).
+    ``batch``
+        Boundary vertices colored per superstep (default 100, >= 1).
+    ``seed``
+        Seed forwarded to the partitioner (default 0).
+
+    Only the first-fit policy is supported, and the backend cannot resume
+    from ``initial_colors``/``initial_work`` (its interior/boundary split
+    assumes a fresh palette).  The schedule's kernel plan is ignored — the
+    superstep protocol *is* the schedule — but the spec name is kept for
+    reporting.  ``REPRO_PROCESS_FAULT`` fault injection applies to the
+    pool workers just as for ``backend="process"``.
+    """
+
+    name = "sharded"
+
+    def run(
+        self,
+        adapter,
+        schedule,
+        *,
+        name,
+        threads,
+        cost=None,
+        policy=None,
+        max_iterations=200,
+        fastpath_mode="exact",  # accepted for signature uniformity; unused
+        tracer=None,
+        initial_colors=None,
+        initial_work=None,
+        partitioner="bfs",
+        batch=100,
+        seed=0,
+    ) -> ColoringResult:
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import procworker
+        from repro.core.backends import ProcessPhaseEngine
+        from repro.core.policies import FirstFit
+        from repro.dist.partition import get_partitioner
+        from repro.dist.superstep import boundary_mask
+        from repro.graph.bipartite import BipartiteGraph
+        from repro.obs.tracer import ensure_tracer
+        from repro.obs.work import WorkCounters
+
+        if policy is not None and not isinstance(policy, FirstFit):
+            raise ColoringError(
+                "backend='sharded' supports only the first-fit policy (U); "
+                f"got {type(policy).__name__} — run B1/B2 on the simulator"
+            )
+        if initial_colors is not None or initial_work is not None:
+            raise ColoringError(
+                "backend='sharded' cannot resume from a partial coloring "
+                "(its interior/boundary split assumes a fresh palette); "
+                "run incremental recoloring on sim, threaded or process"
+            )
+        if not hasattr(adapter, "process_spec"):
+            raise ColoringError(
+                "backend='sharded' needs an adapter with process_spec() "
+                f"(shared-memory layout); {type(adapter).__name__} has none"
+            )
+        if threads < 1:
+            raise ColoringError(
+                f"sharded backend needs threads (shards) >= 1, got {threads}"
+            )
+        if batch < 1:
+            raise ColoringError(f"batch must be >= 1, got {batch}")
+        try:
+            partition_fn = get_partitioner(partitioner)
+        except ValueError as exc:
+            raise ColoringError(str(exc)) from None
+        try:
+            fault = procworker.parse_fault(os.environ.get("REPRO_PROCESS_FAULT"))
+        except ValueError as exc:
+            raise ColoringError(str(exc)) from None
+        tracer = ensure_tracer(tracer)
+
+        # The generic constraint-group view: nets x vertices for BGPC,
+        # closed neighborhoods x vertices for D2GC.  Both partitioning and
+        # boundary detection run on it, so any adapter with fastpath_groups
+        # + process_spec shards identically.
+        gview = BipartiteGraph.from_net_to_vtxs(adapter.fastpath_groups())
+        part = partition_fn(gview, threads, seed=seed)
+        is_boundary = boundary_mask(gview, part)
+        n = adapter.n_targets
+        owners_of = [
+            np.nonzero((part == r) & ~is_boundary)[0].astype(np.int64)
+            for r in range(threads)
+        ]
+
+        run_work = WorkCounters()
+        records: list[IterationRecord] = []
+        comm_words = comm_messages = conflicts_total = supersteps = 0
+        palette = 0
+        run_start = time.perf_counter()
+
+        engine = ProcessPhaseEngine(
+            adapter, threads, cost=cost, tracer=tracer, policy=policy, fault=fault
+        )
+        try:
+            with tracer.span(
+                "run",
+                algorithm=name,
+                backend=self.name,
+                threads=threads,
+                partitioner=partitioner,
+            ) as run_span:
+                # ---- interior phase: one slice per shard, no cross-talk --
+                interior_work = WorkCounters()
+                with tracer.span(
+                    "phase", iteration=0, phase="color", kind="interior"
+                ) as phase_span:
+                    iter_start = time.perf_counter()
+                    ranges = []
+                    lo = 0
+                    for ids in owners_of:
+                        if ids.size:
+                            engine.work[lo : lo + ids.size] = ids
+                            ranges.append(("color:vertex", lo, lo + ids.size, True))
+                            lo += ids.size
+                    try:
+                        for _pid, _done, _appends, chunk_work in engine.pool.map(
+                            procworker.run_chunk, ranges
+                        ):
+                            interior_work.merge(chunk_work)
+                    except BrokenProcessPool as exc:
+                        raise ColoringError(
+                            "sharded backend: a worker process died during "
+                            "the interior phase; shared segments are "
+                            "reclaimed by the parent"
+                        ) from exc
+                    phase_span.set(items=lo)
+                run_work.merge(interior_work)
+                if tracer.enabled:
+                    interior_work.emit(
+                        tracer, iteration=0, phase="color", kind="interior"
+                    )
+                palette = int(engine.colors.max()) + 1 if n else 0
+                records.append(
+                    IterationRecord(
+                        index=0,
+                        queue_size=lo,
+                        conflicts=0,
+                        color_timing=None,
+                        remove_timing=None,
+                        colors_introduced=palette,
+                        wall_seconds=time.perf_counter() - iter_start,
+                    )
+                )
+
+                # ---- boundary supersteps ---------------------------------
+                pending = np.nonzero(is_boundary)[0].astype(np.int64)
+                boundary_total = int(pending.size)
+                while pending.size:
+                    if supersteps >= max(max_iterations, boundary_total + 1):
+                        raise ColoringError(
+                            f"{name} did not converge in {supersteps} "
+                            f"supersteps ({pending.size} boundary vertices "
+                            "still pending)"
+                        )
+                    iter_start = time.perf_counter()
+                    batch_vs, rest = pending[:batch], pending[batch:]
+                    step_work = WorkCounters()
+                    # Per-rank slices in batch (not sorted) order: the
+                    # oracle's overlays accumulate in batch order too.
+                    owners = part[batch_vs]
+                    ranges = []
+                    lo = 0
+                    for r in range(threads):
+                        mine = batch_vs[owners == r]
+                        if mine.size:
+                            engine.work[lo : lo + mine.size] = mine
+                            ranges.append((lo, lo + mine.size))
+                            lo += mine.size
+                    exchanges = []
+                    try:
+                        for _pid, ids, cols, frontier_work in engine.pool.map(
+                            procworker.run_frontier, ranges
+                        ):
+                            exchanges.append((ids, cols))
+                            step_work.merge(frontier_work)
+                            comm_words += 2 * int(ids.size)
+                            comm_messages += 1
+                    except BrokenProcessPool as exc:
+                        raise ColoringError(
+                            "sharded backend: a worker process died during "
+                            f"superstep {supersteps}; shared segments are "
+                            "reclaimed by the parent"
+                        ) from exc
+                    # Commit the exchange (disjoint ids: one owner each),
+                    # then detect cross-shard conflicts on the committed
+                    # palette — smaller vertex id wins, as everywhere.
+                    writes = 0
+                    for ids, cols in exchanges:
+                        engine.colors[ids] = cols
+                        writes += int(ids.size)
+                    losers = _detect_losers(
+                        gview, batch_vs, engine.colors, step_work
+                    )
+                    engine.colors[losers] = UNCOLORED
+                    step_work.add("color_writes", len(losers))
+                    step_work.add("queue_pushes", len(losers))
+                    conflicts_total += len(losers)
+                    run_work.merge(step_work)
+                    if tracer.enabled:
+                        step_work.emit(
+                            tracer,
+                            iteration=supersteps + 1,
+                            phase="superstep",
+                            kind="boundary",
+                        )
+                        tracer.counter(
+                            "shard.exchange_words",
+                            2 * writes,
+                            superstep=supersteps,
+                        )
+                    committed_max = (
+                        int(engine.colors.max()) if engine.colors.size else -1
+                    )
+                    introduced = max(0, committed_max + 1 - palette)
+                    palette = max(palette, committed_max + 1)
+                    records.append(
+                        IterationRecord(
+                            index=supersteps + 1,
+                            queue_size=int(batch_vs.size),
+                            conflicts=len(losers),
+                            color_timing=None,
+                            remove_timing=None,
+                            colors_introduced=introduced,
+                            wall_seconds=time.perf_counter() - iter_start,
+                        )
+                    )
+                    supersteps += 1
+                    pending = np.concatenate(
+                        [np.asarray(losers, dtype=np.int64), rest]
+                    )
+
+                final = engine.snapshot()
+                run_span.set(
+                    iterations=len(records),
+                    supersteps=supersteps,
+                    comm_words=comm_words,
+                    num_colors=int(final.max()) + 1 if final.size else 0,
+                )
+        finally:
+            engine.close()
+
+        if final.size and final.min() < 0:
+            raise ColoringError(
+                f"{name} finished with {int((final < 0).sum())} uncolored vertices"
+            )
+        work_metrics = run_work.as_dict()
+        work_metrics.update(
+            {
+                "shard.interior": n - boundary_total,
+                "shard.boundary": boundary_total,
+                "shard.supersteps": supersteps,
+                "shard.conflicts": conflicts_total,
+                "shard.comm_words": comm_words,
+                "shard.comm_messages": comm_messages,
+            }
+        )
+        return ColoringResult(
+            colors=final,
+            num_colors=int(final.max()) + 1 if final.size else 0,
+            iterations=records,
+            algorithm=name,
+            threads=threads,
+            cycles=0.0,
+            backend=self.name,
+            wall_seconds=time.perf_counter() - run_start,
+            work_metrics=work_metrics,
+        )

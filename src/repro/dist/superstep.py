@@ -25,7 +25,7 @@ from repro.errors import ColoringError
 from repro.graph.bipartite import BipartiteGraph
 from repro.types import UNCOLORED
 
-__all__ = ["DistributedResult", "distributed_bgpc"]
+__all__ = ["DistributedResult", "boundary_mask", "distributed_bgpc"]
 
 
 @dataclass

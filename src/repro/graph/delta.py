@@ -136,6 +136,20 @@ def _edge_keys(vs: np.ndarray, ns: np.ndarray, stride: int) -> np.ndarray:
     return vs * np.int64(stride) + ns
 
 
+def _found_at(sorted_keys: np.ndarray, pos: np.ndarray,
+              keys: np.ndarray) -> np.ndarray:
+    """Membership mask for ``keys`` given searchsorted positions.
+
+    ``sorted_keys`` may be empty (e.g. a delta that deleted every edge) —
+    nothing is present then, and the clamped index would be out of range.
+    """
+    if not sorted_keys.size:
+        return np.zeros(keys.size, dtype=bool)
+    return (pos < sorted_keys.size) & (
+        sorted_keys[np.minimum(pos, sorted_keys.size - 1)] == keys
+    )
+
+
 def apply_delta(bg: BipartiteGraph, delta: GraphDelta) -> BipartiteGraph:
     """The graph obtained by applying ``delta`` to ``bg`` (a new object).
 
@@ -177,9 +191,7 @@ def apply_delta(bg: BipartiteGraph, delta: GraphDelta) -> BipartiteGraph:
     if dels.size:
         del_keys = _edge_keys(dels[:, 0], dels[:, 1], stride)
         pos = np.searchsorted(cur_keys, del_keys)
-        present = (pos < cur_keys.size) & (
-            cur_keys[np.minimum(pos, cur_keys.size - 1)] == del_keys
-        )
+        present = _found_at(cur_keys, pos, del_keys)
         if not present.all():
             u, v = (int(x) for x in dels[np.nonzero(~present)[0][0]])
             raise GraphError(f"delta deletes a missing edge ({u}, {v})")
@@ -190,9 +202,7 @@ def apply_delta(bg: BipartiteGraph, delta: GraphDelta) -> BipartiteGraph:
     if ins.size:
         ins_keys = _edge_keys(ins[:, 0], ins[:, 1], stride)
         pos = np.searchsorted(cur_keys, ins_keys)
-        present = (pos < cur_keys.size) & (
-            cur_keys[np.minimum(pos, cur_keys.size - 1)] == ins_keys
-        )
+        present = _found_at(cur_keys, pos, ins_keys)
         if present.any():
             u, v = (int(x) for x in ins[np.nonzero(present)[0][0]])
             raise GraphError(f"delta inserts an existing edge ({u}, {v})")

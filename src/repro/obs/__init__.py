@@ -25,7 +25,7 @@ from repro.obs.tracer import (
     ensure_tracer,
     read_jsonl_trace,
 )
-from repro.obs.work import WORK_METRICS, WorkCounters
+from repro.obs.work import SHARD_METRICS, WORK_METRICS, WorkCounters
 
 __all__ = [
     "TraceEvent",
@@ -38,6 +38,7 @@ __all__ = [
     "read_jsonl_trace",
     "iteration_breakdown",
     "profile_table",
+    "SHARD_METRICS",
     "WORK_METRICS",
     "WorkCounters",
 ]

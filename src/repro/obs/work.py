@@ -37,7 +37,7 @@ backends to one worker for exactly this reason.
 
 from __future__ import annotations
 
-__all__ = ["WORK_METRICS", "WorkCounters"]
+__all__ = ["SHARD_METRICS", "WORK_METRICS", "WorkCounters"]
 
 #: Canonical metric names, in reporting order.
 WORK_METRICS = (
@@ -47,6 +47,35 @@ WORK_METRICS = (
     "conflict_checks",
     "queue_pushes",
     "color_writes",
+)
+
+#: Extra per-shard metrics the ``sharded`` backend attaches to
+#: ``ColoringResult.work_metrics`` alongside :data:`WORK_METRICS` — also
+#: deterministic, also gated by the regress suite:
+#:
+#: ==========================  ============================================
+#: metric                      what it counts
+#: ==========================  ============================================
+#: ``shard.interior``          vertices colored with zero cross-talk
+#: ``shard.boundary``          vertices resolved through supersteps
+#: ``shard.supersteps``        bulk-synchronous boundary rounds executed
+#: ``shard.conflicts``         boundary picks lost to a smaller-id neighbor
+#: ``shard.comm_words``        int64 words actually exchanged (packed
+#:                             ``(id, color)`` frontier pairs)
+#: ``shard.comm_messages``     frontier result messages (one per active
+#:                             rank per superstep)
+#: ==========================  ============================================
+#:
+#: They are *attached extras*, not :class:`WorkCounters` slots: only the
+#: sharded backend produces them, and they count structure (partition
+#: quality, exchange volume), not kernel operations.
+SHARD_METRICS = (
+    "shard.interior",
+    "shard.boundary",
+    "shard.supersteps",
+    "shard.conflicts",
+    "shard.comm_words",
+    "shard.comm_messages",
 )
 
 

@@ -80,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend)",
     )
     parser.add_argument(
+        "--sharded-threshold",
+        type=int,
+        default=None,
+        help="bipartite-edge count at which the size router switches from "
+        "the process to the sharded backend (default 500000; ignored with "
+        "--backend); see docs/sharding.md",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -92,11 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
 async def _serve(args, tracer) -> int:
     from repro.service import ColoringServer, ColoringService, SizeRouter
 
-    router = (
-        SizeRouter(edge_threshold=args.edge_threshold)
-        if args.edge_threshold is not None
-        else None
-    )
+    router_kwargs = {}
+    if args.edge_threshold is not None:
+        router_kwargs["edge_threshold"] = args.edge_threshold
+    if args.sharded_threshold is not None:
+        router_kwargs["sharded_threshold"] = args.sharded_threshold
+    router = SizeRouter(**router_kwargs) if router_kwargs else None
     service = ColoringService(
         backend=args.backend,
         threads=args.threads,
@@ -147,6 +156,21 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.sharded_threshold is not None:
+        from repro.service.router import DEFAULT_EDGE_THRESHOLD
+
+        edge = (
+            args.edge_threshold
+            if args.edge_threshold is not None
+            else DEFAULT_EDGE_THRESHOLD
+        )
+        if args.sharded_threshold < edge:
+            print(
+                f"error: --sharded-threshold must be >= the edge "
+                f"threshold ({edge}), got {args.sharded_threshold}",
+                file=sys.stderr,
+            )
+            return 2
 
     tracer = None
     try:

@@ -22,7 +22,11 @@ front end (see ``docs/service.md``):
 from repro.service.cache import ColoringCache
 from repro.service.client import ServiceClient
 from repro.service.fingerprint import graph_fingerprint, request_key
-from repro.service.router import DEFAULT_EDGE_THRESHOLD, SizeRouter
+from repro.service.router import (
+    DEFAULT_EDGE_THRESHOLD,
+    DEFAULT_SHARDED_THRESHOLD,
+    SizeRouter,
+)
 from repro.service.server import ColoringServer
 from repro.service.service import (
     ColoringRequest,
@@ -33,6 +37,7 @@ from repro.service.service import (
 
 __all__ = [
     "DEFAULT_EDGE_THRESHOLD",
+    "DEFAULT_SHARDED_THRESHOLD",
     "ColoringCache",
     "ColoringRequest",
     "ColoringServer",

@@ -8,9 +8,13 @@ picks from the :mod:`repro.core.backends` registry by instance size:
 * **large** graphs (at least ``edge_threshold`` bipartite edges) go to the
   shared-memory ``process`` pool, where true parallelism pays for its
   setup;
+* **huge** graphs (at least ``sharded_threshold`` edges) go to the
+  partitioned ``sharded`` backend (see ``docs/sharding.md``), whose
+  interior/boundary split keeps cross-worker traffic to the frontier;
 * requests using a balancing policy other than plain first-fit fall back
-  to the deterministic ``sim`` backend — the numpy engine supports only
-  first-fit, and routing must never change what a request computes.
+  to the deterministic ``sim`` backend — the numpy and sharded engines
+  support only first-fit, and routing must never change what a request
+  computes.
 
 The decision is pure (graph size + request parameters in, backend name
 out), so routed keys stay deterministic and cacheable.
@@ -22,11 +26,15 @@ from repro.core.backends import backend_names
 from repro.errors import ServiceError
 from repro.graph.bipartite import BipartiteGraph
 
-__all__ = ["DEFAULT_EDGE_THRESHOLD", "SizeRouter"]
+__all__ = ["DEFAULT_EDGE_THRESHOLD", "DEFAULT_SHARDED_THRESHOLD", "SizeRouter"]
 
 #: Default boundary between "small" (numpy) and "large" (process) graphs,
 #: in bipartite edges.
 DEFAULT_EDGE_THRESHOLD = 50_000
+
+#: Default boundary between "large" (process) and "huge" (sharded) graphs,
+#: in bipartite edges.
+DEFAULT_SHARDED_THRESHOLD = 500_000
 
 
 class SizeRouter:
@@ -37,8 +45,11 @@ class SizeRouter:
     edge_threshold:
         Requests on graphs with at least this many edges route to
         ``large_backend``; smaller ones to ``small_backend``.
-    small_backend / large_backend:
-        Registered backend names for the two size classes.
+    sharded_threshold:
+        Requests on graphs with at least this many edges route to
+        ``huge_backend`` (must be >= ``edge_threshold``).
+    small_backend / large_backend / huge_backend:
+        Registered backend names for the three size classes.
     policy_backend:
         Backend for non-first-fit policies (``B1``/``B2``), which the
         vectorized fast path cannot run.
@@ -50,14 +61,23 @@ class SizeRouter:
         small_backend: str = "numpy",
         large_backend: str = "process",
         policy_backend: str = "sim",
+        sharded_threshold: int = DEFAULT_SHARDED_THRESHOLD,
+        huge_backend: str = "sharded",
     ):
         if edge_threshold < 0:
             raise ValueError(
                 f"edge_threshold must be >= 0, got {edge_threshold}"
             )
+        if sharded_threshold < edge_threshold:
+            raise ValueError(
+                f"sharded_threshold ({sharded_threshold}) must be >= "
+                f"edge_threshold ({edge_threshold})"
+            )
         self.edge_threshold = edge_threshold
+        self.sharded_threshold = sharded_threshold
         self.small_backend = small_backend
         self.large_backend = large_backend
+        self.huge_backend = huge_backend
         self.policy_backend = policy_backend
 
     def route(
@@ -80,6 +100,8 @@ class SizeRouter:
             return backend
         if policy != "U":
             return self.policy_backend
+        if bg.num_edges >= self.sharded_threshold:
+            return self.huge_backend
         if bg.num_edges >= self.edge_threshold:
             return self.large_backend
         return self.small_backend

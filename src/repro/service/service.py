@@ -205,6 +205,11 @@ class ColoringService:
         self.errors = 0
         self.coalesced = 0
         self.delta_requests = 0
+        # Per-request chosen-backend counts: which backend the router (or
+        # an explicit pin) selected, for every response — cached, coalesced
+        # or fresh.  Makes size-based routing (e.g. sharded for huge
+        # graphs) observable through the ``stats`` op.
+        self.backend_requests: dict[str, int] = {}
         self.work_executed = WorkCounters()
         self.work_saved = WorkCounters()
 
@@ -636,6 +641,7 @@ class ColoringService:
 
     def _emit_request(self, backend: str, *, cached: bool,
                       coalesced: bool) -> None:
+        self.backend_requests[backend] = self.backend_requests.get(backend, 0) + 1
         if self.tracer.enabled:
             self.tracer.counter(
                 "service.request",
@@ -653,6 +659,7 @@ class ColoringService:
             "errors": self.errors,
             "coalesced": self.coalesced,
             "delta_requests": self.delta_requests,
+            "backends": dict(sorted(self.backend_requests.items())),
             "graphs_remembered": len(self._graphs),
             "cache": self.cache.stats(),
             "work_executed": self.work_executed.as_dict(),

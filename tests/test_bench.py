@@ -67,7 +67,7 @@ class TestExperimentsTinyScale:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "ablations", "manycore",
-            "profile", "scaling", "serve", "incremental",
+            "profile", "scaling", "serve", "incremental", "shards",
         }
 
     @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",

@@ -240,6 +240,22 @@ def test_quoted_json_examples_parse(doc):
     assert not bad, f"{doc.relative_to(REPO_ROOT)}: bad JSON examples: {bad}"
 
 
+def test_cli_scan_finds_the_sharding_docs():
+    """The scanner must see sharding.md's commands, and they must exercise
+    the sharded flags — so a renamed ``--shards``/``--partitioner`` cannot
+    leave the page stale (guards both the regex and the page)."""
+    text = (REPO_ROOT / "docs" / "sharding.md").read_text(encoding="utf-8")
+    commands = _shell_invocations(text)
+    assert any(
+        "--backend sharded" in cmd and "--shards" in cmd
+        and "--partitioner" in cmd
+        for cmd in commands
+    ), f"docs/sharding.md quotes no runnable sharded CLI command: {commands}"
+    assert any(
+        cmd.startswith("python -m repro.bench shards") for cmd in commands
+    ), "docs/sharding.md quotes no shards bench command"
+
+
 def test_json_example_scan_finds_the_wire_docs():
     """The scanner must see the protocol pages' examples (guards the regex)."""
     service = (REPO_ROOT / "docs" / "service.md").read_text(encoding="utf-8")

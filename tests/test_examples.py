@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "distributed_coloring.py",
     "coloring_service.py",
     "incremental_recolor.py",
+    "sharded_coloring.py",
 ]
 
 

@@ -151,8 +151,12 @@ class TestSuite:
         suite = default_suite()
         ids = [c.id for c in suite]
         assert len(ids) == len(set(ids))
-        assert {c.backend for c in suite} == {"sim", "numpy", "threaded", "process"}
+        assert {c.backend for c in suite} == {
+            "sim", "numpy", "threaded", "process", "sharded"
+        }
         # Real-parallel backends must be pinned to one worker (determinism).
+        # Sharded is exempt: supersteps commit at barriers, so it is
+        # deterministic at any shard count (see docs/sharding.md).
         for case in suite:
             if case.backend in ("threaded", "process"):
                 assert case.threads == 1, case.id

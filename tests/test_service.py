@@ -234,6 +234,26 @@ class TestColoringService:
         assert stats["work_saved"] == stats["work_executed"]
         assert sum(stats["work_executed"].values()) > 0
 
+    def test_backend_request_accounting(self, bg):
+        # Every request is tallied under the backend that (would have)
+        # served it — cached, coalesced or fresh — so size-based routing
+        # decisions are observable per backend through stats().
+        async def run():
+            async with ColoringService() as service:
+                pinned = ColoringRequest(graph=bg, backend="sim")
+                await service.submit(pinned)
+                await service.submit(pinned)  # cache hit, still counted
+                await service.submit(ColoringRequest(graph=bg, backend="numpy"))
+                await service.submit(ColoringRequest(graph=bg))  # routed
+                return service.stats(), service.router.route(bg)
+
+        stats, routed = _run(run())
+        backends = stats["backends"]
+        assert backends["sim"] == 2
+        assert sum(backends.values()) == stats["requests"] == 4
+        # The unpinned request lands on whatever the router chose for it.
+        assert backends[routed] >= 1
+
     def test_invalid_requests_rejected(self, bg):
         async def run():
             async with ColoringService() as service:
@@ -393,6 +413,8 @@ class TestServer:
         stats, ack = _run(run())
         assert ack["ok"] and ack["shutting_down"]
         assert stats["stats"]["requests"] == 1
+        # The stats op surfaces the per-backend request tally.
+        assert stats["stats"]["backends"] == {"sim": 1}
 
 
 # -- delta op: incremental recoloring over the service ----------------------

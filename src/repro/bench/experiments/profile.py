@@ -40,7 +40,13 @@ def run(scale: str = "small", threads: int = 16, dataset: str = "copapers") -> E
     ]
     rows: list[tuple] = []
     first_share: dict[str, float] = {}
-    for alg, backend, mode in PROFILE_ALGS:
+    combos = PROFILE_ALGS
+    from repro.core.compiled import numba_available
+
+    if numba_available():
+        # Profile the numba-JIT twin next to numpy where it can run.
+        combos = combos + (("N1-N2", "compiled", "speculative"),)
+    for alg, backend, mode in combos:
         result = run_algorithm(
             dataset, alg, threads, scale, backend=backend, fastpath_mode=mode
         )

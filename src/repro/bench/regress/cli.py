@@ -31,13 +31,19 @@ from repro.bench.regress.compare import (
 )
 from repro.bench.regress.store import RegressError, collect, load, save
 from repro.bench.regress.suite import default_suite, select_cases
-from repro.obs.work import WORK_METRICS
+from repro.obs.work import FASTPATH_METRICS, SHARD_METRICS, WORK_METRICS
 
 __all__ = ["build_parser", "main", "INJECTABLE_METRICS"]
 
 #: Every metric name the store can carry, and thus --inject can touch:
-#: the deterministic work counters plus the behavioral/simulated extras.
-INJECTABLE_METRICS = WORK_METRICS + ("num_colors", "iterations", "cycles")
+#: the deterministic work counters plus the behavioral/simulated extras
+#: and the backend-attached structure metrics.
+INJECTABLE_METRICS = (
+    WORK_METRICS
+    + ("num_colors", "iterations", "cycles")
+    + SHARD_METRICS
+    + FASTPATH_METRICS
+)
 
 
 def _advisory_table(advisory: dict[str, float]) -> str:
@@ -85,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         "comparing — a self-test hook proving the gate trips",
     )
     parser.add_argument(
+        "--map-backend", default=None, metavar="FROM=TO",
+        help="run cases pinned to backend FROM on backend TO instead, "
+        "keeping their ids — e.g. numpy=compiled proves the compiled "
+        "backend reproduces the numpy baseline's counters exactly",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="itemize in-band metrics in the delta table too",
     )
@@ -113,6 +125,32 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     cases = select_cases(default_suite(), args.cases)
+    if args.map_backend is not None:
+        from dataclasses import replace
+
+        from repro.core.backends import backend_names
+
+        frm, sep, to = args.map_backend.partition("=")
+        if not sep or not frm or not to:
+            print(
+                f"regress: --map-backend expects FROM=TO, got "
+                f"{args.map_backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+        unknown = [b for b in (frm, to) if b not in backend_names()]
+        if unknown:
+            print(
+                f"regress: unknown backend(s) {unknown} in --map-backend; "
+                f"choose from {list(backend_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        mapped = [replace(c, backend=to) if c.backend == frm else c
+                  for c in cases]
+        touched = sum(1 for a, b in zip(cases, mapped) if a is not b)
+        cases = mapped
+        print(f"[map-backend] {frm} -> {to} on {touched} case(s)")
     if args.list:
         for case in cases:
             print(case.id)

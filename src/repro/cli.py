@@ -78,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="sim",
         help="execution backend: the cycle-accurate simulator (sim, "
         "default), the vectorized wall-clock NumPy fast path (numpy), "
+        "its numba-JIT twin (compiled, needs numba installed), "
         "real Python threads (threaded), a shared-memory worker-process "
         "pool (process), or partitioned superstep coloring on that pool "
         "(sharded); see docs/backends.md and docs/sharding.md",
@@ -101,9 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--fastpath-mode",
         choices=("exact", "speculative"),
         default="exact",
-        help="numpy-backend flavour: exact reproduces the sequential "
-        "colors byte-for-byte, speculative is fastest (default: exact; "
-        "ignored with --backend sim)",
+        help="numpy/compiled-backend flavour: exact reproduces the "
+        "sequential colors byte-for-byte, speculative is fastest "
+        "(default: exact; ignored with --backend sim)",
     )
     parser.add_argument(
         "--ordering",
@@ -203,9 +204,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.algorithm == "sequential":
             reason = ("--delta needs a speculative schedule to resume "
                       "(e.g. --algo V-V), not sequential")
-        elif args.backend == "numpy":
-            reason = ("--delta cannot run on --backend numpy (the fast "
-                      "path cannot resume a partial coloring)")
+        elif args.backend in ("numpy", "compiled"):
+            reason = (f"--delta cannot run on --backend {args.backend} (the "
+                      "fast path cannot resume a partial coloring)")
         elif args.backend == "sharded":
             reason = ("--delta cannot run on --backend sharded (the "
                       "interior/boundary split assumes a fresh palette)")
@@ -323,6 +324,10 @@ def _run(args, bg, policy, tracer=None, delta=None) -> int:
     if result.backend == "numpy":
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
               f"numpy backend ({args.fastpath_mode} mode), "
+              f"ordering {args.ordering}, policy {policy_label}")
+    elif result.backend == "compiled":
+        print(f"problem  : {args.problem}, algorithm {result.algorithm}, "
+              f"compiled backend (numba, {args.fastpath_mode} mode), "
               f"ordering {args.ordering}, policy {policy_label}")
     elif result.backend == "threaded":
         print(f"problem  : {args.problem}, algorithm {result.algorithm}, "

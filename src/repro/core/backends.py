@@ -24,6 +24,11 @@ does; this module decides *where* it executes.  An
     ``multiprocessing.shared_memory`` (:mod:`repro.core.procworker`);
     no GIL, true parallel wall-clock, real cross-process races.
 
+``"compiled"``
+    :class:`repro.core.compiled.CompiledBackend` — the fast path's round
+    loops JIT-compiled with numba (optional dependency; byte-identical to
+    ``numpy``, one-line error when numba is missing).
+
 ``sim``, ``threaded`` and ``process`` are *kernel-level* backends: all
 drive the same backend-agnostic loop (:func:`run_plan_loop`), which asks
 the plan for each iteration's :class:`~repro.core.plan.PhasePlan` pair and
@@ -904,18 +909,22 @@ class NumpyBackend:
         tracer = ensure_tracer(tracer)
         groups = adapter.fastpath_groups()
         run_work = WorkCounters()
+        extras: dict[str, int] = {}
         t0 = time.perf_counter()
         with tracer.span(
             "run", algorithm=name, backend="numpy", mode=fastpath_mode
         ) as run_span:
             colors, records = run_fastpath(
-                groups, mode=fastpath_mode, tracer=tracer, work=run_work
+                groups, mode=fastpath_mode, tracer=tracer, work=run_work,
+                extras=extras,
             )
             run_span.set(
                 num_colors=int(colors.max()) + 1 if colors.size else 0,
                 iterations=len(records),
             )
         wall = time.perf_counter() - t0
+        metrics = run_work.as_dict()
+        metrics.update(extras)  # FASTPATH_METRICS, speculative mode only
         return ColoringResult(
             colors=colors,
             num_colors=int(colors.max()) + 1 if colors.size else 0,
@@ -925,7 +934,7 @@ class NumpyBackend:
             cycles=0.0,
             backend="numpy",
             wall_seconds=wall,
-            work_metrics=run_work.as_dict(),
+            work_metrics=metrics,
         )
 
 
@@ -983,4 +992,15 @@ def _register_sharded() -> None:
     register_backend(ShardedBackend())
 
 
+def _register_compiled() -> None:
+    # Deferred likewise (repro.core.compiled imports _reject_options from
+    # here).  Registration never imports numba: the name is always a valid
+    # --backend choice, and the dependency check happens at run time so a
+    # missing numba is a one-line ColoringError, not an import crash.
+    from repro.core.compiled import CompiledBackend
+
+    register_backend(CompiledBackend())
+
+
 _register_sharded()
+_register_compiled()

@@ -1,0 +1,166 @@
+"""Packed uint64 color bitsets for the speculative fast path.
+
+The speculative round needs, per queue vertex, the set of colors already
+committed in any of its groups — and then the ``(r+1)``-th color *not* in
+that set (the rank-offset first fit).  Materializing the sets as a dense
+``(n_groups × palette)`` float matrix (the pre-bitset engine) costs
+O(n_groups · palette) bytes per round plus a scipy sparse matvec; packing
+64 colors per uint64 word cuts the memory ~32x, turns the per-vertex OR
+into a single ``np.bitwise_or.reduceat`` over the transposed layout, and
+answers the first fit with a vectorized find-``(r+1)``-th-zero-bit — all
+plain NumPy, no scipy.
+
+The packed width is ``ceil(cap / 64)`` words where ``cap`` bounds the
+colors any vertex can pick this round (``cmax + rmax + 3``); Lemma 1's
+``L = max_v |vtxs(v)|`` bounds the palette globally, so the width never
+grows past ``ceil((L + 1) / 64)`` words.
+
+Three primitives, each pure NumPy and loop-free:
+
+:func:`pack_color_masks`
+    Scatter committed ``(group, color)`` pairs into per-group packed
+    masks via a sort + segmented OR (``np.bitwise_or.reduceat``).
+:func:`or_reduce_segments`
+    OR together contiguous runs of mask rows — the per-queue-vertex
+    union over the vertex's groups.
+:func:`nth_free_color`
+    The ``(r+1)``-th zero bit of each row: per-word free counts
+    (popcount), a cumulative sum to find the word, then a six-step
+    binary search inside it.
+
+``popcount`` uses ``numpy.bitwise_count`` when available (NumPy ≥ 2.0)
+and falls back to a SWAR (SIMD-within-a-register) implementation on the
+older NumPy the CI floor allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "mask_words",
+    "nth_free_color",
+    "or_reduce_segments",
+    "pack_color_masks",
+    "popcount",
+]
+
+#: Bits per packed word (uint64).
+WORD_BITS = 64
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount_swar(words: np.ndarray) -> np.ndarray:
+    """Branch-free 64-bit popcount (Hacker's Delight 5-2), vectorized."""
+    x = words.astype(np.uint64, copy=True)
+    x -= (x >> np.uint64(1)) & _M1
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return ((x * _H01) >> np.uint64(56)).astype(np.int64)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Set-bit count of each uint64 word, as int64."""
+        return np.bitwise_count(words).astype(np.int64)
+
+else:  # pragma: no cover - exercised only on the NumPy 1.x CI floor
+    popcount = _popcount_swar
+
+
+def mask_words(cap: int) -> int:
+    """Packed words needed to hold colors ``0 .. cap-1`` (≥ 1)."""
+    return max(1, (int(cap) + WORD_BITS - 1) // WORD_BITS)
+
+
+def pack_color_masks(
+    group_ids: np.ndarray, colors: np.ndarray, n_groups: int, words: int
+) -> np.ndarray:
+    """Packed per-group forbidden sets from committed ``(group, color)`` pairs.
+
+    Returns a ``(n_groups, words)`` uint64 array whose row ``g`` has bit
+    ``c`` set exactly when some pair ``(g, c)`` was given.  Duplicate
+    pairs are fine (OR is idempotent).  Built without ``np.bitwise_or.at``
+    (slow scatter-reduce): pairs are keyed by ``group * words + word``,
+    sorted, OR-reduced per key run with ``np.bitwise_or.reduceat``, and
+    scattered once into the flat mask array.
+    """
+    flat = np.zeros(int(n_groups) * words, dtype=np.uint64)
+    if group_ids.size:
+        col = colors.astype(np.int64)
+        key = group_ids.astype(np.int64) * words + (col >> 6)
+        bits = np.uint64(1) << (col & 63).astype(np.uint64)
+        order = np.argsort(key, kind="stable")
+        sk = key[order]
+        sb = bits[order]
+        starts = np.nonzero(np.concatenate(([True], sk[1:] != sk[:-1])))[0]
+        flat[sk[starts]] = np.bitwise_or.reduceat(sb, starts)
+    return flat.reshape(int(n_groups), words)
+
+
+def or_reduce_segments(rows: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """OR together contiguous runs of mask rows.
+
+    ``rows`` is ``(sum(lengths), words)`` uint64; segment ``i`` covers the
+    next ``lengths[i]`` rows.  Returns ``(lengths.size, words)`` with the
+    OR of each segment; zero-length segments (which
+    ``np.bitwise_or.reduceat`` cannot express) yield all-zero rows.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    out = np.zeros((lengths.size, rows.shape[1]), dtype=np.uint64)
+    nonempty = lengths > 0
+    if rows.shape[0] and np.any(nonempty):
+        segptr = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=segptr[1:])
+        out[nonempty] = np.bitwise_or.reduceat(
+            rows, segptr[:-1][nonempty], axis=0
+        )
+    return out
+
+
+def nth_free_color(forbidden: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Index of the ``(ranks[i]+1)``-th zero bit of ``forbidden[i]``.
+
+    ``forbidden`` is ``(q, words)`` uint64; bit ``c`` of row ``i`` set
+    means color ``c`` is taken for queue vertex ``i``.  Bits past the last
+    packed word are implicitly free: the caller sizes ``words`` so the
+    answer always lands inside the packed range (``cap`` colors cover the
+    worst case ``forbidden-count + rank + 1``), but even at the boundary
+    the virtual free tail keeps the search total.
+
+    The word holding the answer is found by a cumulative free-bit count
+    (popcount of the complement); the bit inside it by a six-step binary
+    search narrowing 64 → 1 bits with popcounts of the low halves.
+    """
+    q, words = forbidden.shape
+    r = np.asarray(ranks, dtype=np.int64)
+    free = ~forbidden
+    counts = popcount(free.reshape(q * words)).reshape(q, words)
+    cum = np.cumsum(counts, axis=1)
+    in_pack = cum[:, -1] > r if words else np.zeros(q, dtype=bool)
+    # First word whose cumulative free count exceeds r (clamped for the
+    # overflow rows, whose search result is discarded below).
+    w = np.minimum((cum <= r[:, None]).sum(axis=1), max(words - 1, 0))
+    rows_ix = np.arange(q)
+    before = np.where(w > 0, cum[rows_ix, np.maximum(w - 1, 0)], 0)
+    k = r - before
+    word = free[rows_ix, w] if words else np.zeros(q, dtype=np.uint64)
+    # Binary search inside the 64-bit word for the (k+1)-th set bit.
+    pos = np.zeros(q, dtype=np.int64)
+    cur = word.astype(np.uint64)
+    kk = np.maximum(k, 0)
+    for shift in (32, 16, 8, 4, 2, 1):
+        low = cur & np.uint64((1 << shift) - 1)
+        c = popcount(low)
+        go_high = c <= kk
+        kk = np.where(go_high, kk - c, kk)
+        pos += np.where(go_high, shift, 0)
+        cur = np.where(go_high, cur >> np.uint64(shift), low)
+    tail = words * WORD_BITS + (r - (cum[:, -1] if words else 0))
+    return np.where(in_pack, w * WORD_BITS + pos, tail)

@@ -37,7 +37,7 @@ backends to one worker for exactly this reason.
 
 from __future__ import annotations
 
-__all__ = ["SHARD_METRICS", "WORK_METRICS", "WorkCounters"]
+__all__ = ["FASTPATH_METRICS", "SHARD_METRICS", "WORK_METRICS", "WorkCounters"]
 
 #: Canonical metric names, in reporting order.
 WORK_METRICS = (
@@ -76,6 +76,27 @@ SHARD_METRICS = (
     "shard.conflicts",
     "shard.comm_words",
     "shard.comm_messages",
+)
+
+#: Packed-bitset structure metrics the vectorized fast path attaches to
+#: ``ColoringResult.work_metrics`` for speculative runs (``numpy`` and
+#: ``compiled`` report the same keys) — attached extras in the same sense
+#: as :data:`SHARD_METRICS`:
+#:
+#: ==============================  ==========================================
+#: metric                          what it counts
+#: ==============================  ==========================================
+#: ``fastpath.palette_words``      widest per-round forbidden mask, in
+#:                                 packed uint64 words (64 colors/word)
+#: ``fastpath.mask_or_words``      total packed words OR-combined across
+#:                                 all rounds (the bitset work volume)
+#: ==============================  ==========================================
+#:
+#: Both are deterministic and gated by the regress suite; both are 0 when
+#: no masked round runs (exact mode, or a conflict-free first round).
+FASTPATH_METRICS = (
+    "fastpath.palette_words",
+    "fastpath.mask_or_words",
 )
 
 

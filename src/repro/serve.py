@@ -72,12 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 8)",
     )
     parser.add_argument(
+        "--small-backend",
+        choices=backend_names(),
+        default=None,
+        help="backend the size router uses for small graphs (default "
+        "numpy; pass compiled to serve the small tier from the numba-JIT "
+        "engine — it degrades back to numpy when numba is missing); "
+        "ignored with --backend",
+    )
+    parser.add_argument(
         "--edge-threshold",
         type=int,
         default=None,
         help="bipartite-edge count at which the size router switches from "
-        "the numpy to the process backend (default 50000; ignored with "
-        "--backend)",
+        "the small-tier backend to the process backend (default 50000; "
+        "ignored with --backend)",
     )
     parser.add_argument(
         "--sharded-threshold",
@@ -105,6 +114,8 @@ async def _serve(args, tracer) -> int:
         router_kwargs["edge_threshold"] = args.edge_threshold
     if args.sharded_threshold is not None:
         router_kwargs["sharded_threshold"] = args.sharded_threshold
+    if args.small_backend is not None:
+        router_kwargs["small_backend"] = args.small_backend
     router = SizeRouter(**router_kwargs) if router_kwargs else None
     service = ColoringService(
         backend=args.backend,
@@ -141,6 +152,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: --threads must be >= 1, got {args.threads}",
               file=sys.stderr)
         return 2
+    if args.backend is not None:
+        # Fail at startup, not per request, when the pinned backend cannot
+        # run here (e.g. --backend compiled without numba installed).
+        from repro.core.backends import get_backend
+
+        probe = getattr(get_backend(args.backend), "available", None)
+        if probe is not None and not probe():
+            print(
+                f"error: --backend {args.backend} is not available on this "
+                "host (missing optional dependency)",
+                file=sys.stderr,
+            )
+            return 2
     if args.cache_size < 0:
         print(f"error: --cache-size must be >= 0, got {args.cache_size}",
               file=sys.stderr)

@@ -16,13 +16,20 @@ picks from the :mod:`repro.core.backends` registry by instance size:
   support only first-fit, and routing must never change what a request
   computes.
 
-The decision is pure (graph size + request parameters in, backend name
-out), so routed keys stay deterministic and cacheable.
+Backends with optional dependencies (``compiled`` needs numba) declare an
+``available()`` probe and a ``fallback`` name; a size-routed pick that is
+unavailable degrades to its fallback (e.g. ``compiled`` → ``numpy``), but
+a request that *pins* an unavailable backend fails with a
+:class:`~repro.errors.ServiceError` — the router never silently changes
+an explicit choice.
+
+The decision is pure (graph size + request parameters + registry state
+in, backend name out), so routed keys stay deterministic and cacheable.
 """
 
 from __future__ import annotations
 
-from repro.core.backends import backend_names
+from repro.core.backends import backend_names, get_backend
 from repro.errors import ServiceError
 from repro.graph.bipartite import BipartiteGraph
 
@@ -97,11 +104,37 @@ class SizeRouter:
                     f"unknown backend {backend!r}; choose from "
                     f"{list(backend_names())}"
                 )
+            if not _is_available(backend):
+                raise ServiceError(
+                    f"backend {backend!r} is not available on this host "
+                    "(missing optional dependency); unpin the backend or "
+                    "install it"
+                )
             return backend
         if policy != "U":
             return self.policy_backend
         if bg.num_edges >= self.sharded_threshold:
-            return self.huge_backend
+            return self._degrade(self.huge_backend)
         if bg.num_edges >= self.edge_threshold:
-            return self.large_backend
-        return self.small_backend
+            return self._degrade(self.large_backend)
+        return self._degrade(self.small_backend)
+
+    @staticmethod
+    def _degrade(name: str) -> str:
+        """Follow ``fallback`` links until an available backend is found."""
+        seen = set()
+        while not _is_available(name):
+            seen.add(name)
+            name = getattr(get_backend(name), "fallback", None)
+            if name is None or name in seen:
+                raise ServiceError(
+                    "no available backend in the fallback chain "
+                    f"{sorted(seen)}"
+                )
+        return name
+
+
+def _is_available(name: str) -> bool:
+    """A backend is available unless it declares ``available() -> False``."""
+    probe = getattr(get_backend(name), "available", None)
+    return True if probe is None else bool(probe())

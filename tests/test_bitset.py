@@ -1,0 +1,178 @@
+"""Tests for the packed-bitset fast-path primitives
+(:mod:`repro.core.fastpath.bitset`).
+
+Two contract levels:
+
+* property tests (hypothesis) that the vectorized primitives agree with
+  simple per-bit reference loops on arbitrary masks/ranks — in particular
+  that :func:`nth_free_color` equals a per-color mex loop;
+* a ``tracemalloc`` peak-allocation regression test pinning the
+  tentpole's memory claim: a speculative round must not allocate the
+  O(n_groups × palette) dense float forbidden matrix the bitset rewrite
+  replaced.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastpath.bitset import (
+    WORD_BITS,
+    _popcount_swar,
+    mask_words,
+    nth_free_color,
+    or_reduce_segments,
+    pack_color_masks,
+    popcount,
+)
+
+words64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def _reference_nth_free(forbidden_row: np.ndarray, rank: int) -> int:
+    """Per-color mex loop: the (rank+1)-th color whose bit is clear."""
+    words = forbidden_row.size
+    need = rank
+    c = 0
+    while True:
+        w, b = divmod(c, WORD_BITS)
+        taken = w < words and bool(
+            (forbidden_row[w] >> np.uint64(b)) & np.uint64(1)
+        )
+        if not taken:
+            if need == 0:
+                return c
+            need -= 1
+        c += 1
+
+
+class TestPopcount:
+    @given(st.lists(words64, min_size=1, max_size=64))
+    def test_matches_python_bit_count(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [int(v).bit_count() for v in values]
+        assert popcount(arr).tolist() == expected
+        # The SWAR fallback (used on NumPy < 2.0) must agree too.
+        assert _popcount_swar(arr).tolist() == expected
+
+
+class TestNthFreeColor:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=300),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_mex_loop(self, q, words, rank_hi, rnd):
+        forbidden = np.array(
+            [[rnd.getrandbits(64) for _ in range(words)] for _ in range(q)],
+            dtype=np.uint64,
+        )
+        ranks = np.array(
+            [rnd.randint(0, rank_hi) for _ in range(q)], dtype=np.int64
+        )
+        got = nth_free_color(forbidden, ranks)
+        for i in range(q):
+            assert got[i] == _reference_nth_free(forbidden[i], int(ranks[i]))
+
+    def test_fully_forbidden_rows_answer_in_the_virtual_tail(self):
+        forbidden = np.full((3, 2), ~np.uint64(0), dtype=np.uint64)
+        got = nth_free_color(forbidden, np.array([0, 1, 7]))
+        assert got.tolist() == [128, 129, 135]
+
+    def test_rank_zero_on_empty_mask_is_color_zero(self):
+        forbidden = np.zeros((2, 1), dtype=np.uint64)
+        assert nth_free_color(forbidden, np.array([0, 5])).tolist() == [0, 5]
+
+
+class TestPackAndReduce:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pack_sets_exactly_the_given_bits(self, pairs):
+        n_groups, cap = 7, 201
+        words = mask_words(cap)
+        groups = np.array([g for g, _ in pairs], dtype=np.int64)
+        cols = np.array([c for _, c in pairs], dtype=np.int64)
+        masks = pack_color_masks(groups, cols, n_groups, words)
+        expected = np.zeros((n_groups, words), dtype=np.uint64)
+        for g, c in pairs:
+            expected[g, c // WORD_BITS] |= np.uint64(1) << np.uint64(
+                c % WORD_BITS
+            )
+        assert np.array_equal(masks, expected)
+
+    def test_or_reduce_handles_empty_segments(self):
+        masks = pack_color_masks(
+            np.array([0, 1, 2]), np.array([1, 65, 3]), 3, 2
+        )
+        rows = masks[[0, 2, 1]]
+        out = or_reduce_segments(rows, np.array([2, 0, 1]))
+        assert np.array_equal(out[0], masks[0] | masks[2])
+        assert not out[1].any()
+        assert np.array_equal(out[2], masks[1])
+
+    def test_mask_words_rounds_up_and_floors_at_one(self):
+        assert mask_words(0) == 1
+        assert mask_words(1) == 1
+        assert mask_words(64) == 1
+        assert mask_words(65) == 2
+        assert mask_words(640) == 10
+
+
+class TestSpeculativeMemory:
+    """The tentpole's memory claim, pinned with tracemalloc."""
+
+    def test_no_dense_palette_matrix_is_allocated(self):
+        # One 220-member clique group forces a ~220-color palette; 24k
+        # 2-member groups make n_groups large.  The replaced engine built
+        # an (n_groups × palette) float32 matrix per masked round —
+        # ≥ 21 MB here — while the packed bitsets need n_groups × 4 words.
+        from repro.core.fastpath.engine import run_fastpath
+        from repro.graph.csr import CSR
+
+        rng = np.random.default_rng(42)
+        n, small_groups, clique = 5000, 24000, 220
+        pairs = rng.integers(0, n, size=(small_groups, 2), dtype=np.int64)
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        members = np.concatenate(
+            [pairs.ravel(), rng.choice(n, size=clique, replace=False)]
+        )
+        ptr = np.concatenate(
+            [np.arange(0, 2 * len(pairs) + 1, 2),
+             [2 * len(pairs) + clique]]
+        ).astype(np.int64)
+        groups = CSR(ptr, members.astype(np.int64), n)
+
+        tracemalloc.start()
+        try:
+            colors, records = run_fastpath(groups, mode="speculative")
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        n_groups = ptr.size - 1
+        palette = int(colors.max()) + 1
+        assert palette >= clique  # the wide-palette regime is exercised
+        assert len(records) >= 2  # at least one masked round ran
+        dense_bytes = n_groups * palette * 4
+        assert dense_bytes > 20 * 2**20
+        # Generous headroom for the O(entries) working arrays — but far
+        # below one dense forbidden matrix.
+        assert peak < dense_bytes // 2, (
+            f"speculative peak {peak} bytes suggests a dense "
+            f"(n_groups × palette) matrix (~{dense_bytes} bytes) is back"
+        )

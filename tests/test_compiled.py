@@ -1,0 +1,207 @@
+"""Tests for the optional numba-compiled backend (``backend="compiled"``).
+
+Three contract levels, matching the backend's three operating regimes:
+
+* **pure-mode parity** (always runs): under ``REPRO_COMPILED_PURE`` the
+  plain-Python kernels must reproduce ``backend="numpy"`` byte-for-byte —
+  colors, per-round records and every work counter including the
+  :data:`~repro.obs.work.FASTPATH_METRICS` extras;
+* **JIT parity** (``@pytest.mark.numba``, auto-skipped without numba):
+  the same assertions against the actually-compiled kernels;
+* **missing-dependency behaviour** (skipped *when* numba is installed):
+  selecting the backend must be a one-line :class:`ColoringError` → CLI
+  exit 2, the server must fail fast at startup, and the size router must
+  degrade to the declared fallback without ever overriding a pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.backends import backend_names, get_backend
+from repro.core.bgpc import color_bgpc
+from repro.core.compiled import CompiledBackend, PURE_ENV, numba_available
+from repro.core.d2gc import color_d2gc
+from repro.errors import ColoringError, ServiceError
+from repro.graph import bipartite_from_dense, write_matrix_market
+from repro.graph.ops import bipartite_to_graph
+from repro.serve import main as serve_main
+from repro.service import SizeRouter
+
+needs_numba = pytest.mark.numba
+skip_without_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+skip_with_numba = pytest.mark.skipif(
+    numba_available(), reason="numba installed; missing-dep paths unreachable"
+)
+
+MODES = ("exact", "speculative")
+
+
+@pytest.fixture
+def bg(rng):
+    return bipartite_from_dense((rng.random((30, 45)) < 0.15).astype(int))
+
+
+@pytest.fixture
+def sym_graph(rng):
+    base = (rng.random((28, 28)) < 0.12).astype(int)
+    sym = ((base + base.T + np.eye(28, dtype=int)) > 0).astype(int)
+    return bipartite_to_graph(bipartite_from_dense(sym))
+
+
+def _assert_matches_numpy(compiled, reference):
+    assert compiled.backend == "compiled"
+    assert compiled.colors.tobytes() == reference.colors.tobytes()
+    assert compiled.num_colors == reference.num_colors
+    assert compiled.work_metrics == reference.work_metrics
+    assert len(compiled.iterations) == len(reference.iterations)
+    for got, want in zip(compiled.iterations, reference.iterations):
+        assert got.queue_size == want.queue_size
+        assert got.conflicts == want.conflicts
+        assert got.colors_introduced == want.colors_introduced
+
+
+class TestRegistry:
+    def test_compiled_is_registered_without_numba(self):
+        assert "compiled" in backend_names()
+        assert isinstance(get_backend("compiled"), CompiledBackend)
+
+    def test_fallback_points_at_numpy(self):
+        assert get_backend("compiled").fallback == "numpy"
+
+    def test_available_reflects_numba_or_pure_hook(self, monkeypatch):
+        monkeypatch.delenv(PURE_ENV, raising=False)
+        assert get_backend("compiled").available() == numba_available()
+        monkeypatch.setenv(PURE_ENV, "1")
+        assert get_backend("compiled").available()
+
+
+class _ParityAssertions:
+    """Shared parity assertions; subclasses pick the kernel flavour."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_bgpc_matches_numpy_bytes_and_counters(self, bg, mode):
+        compiled = color_bgpc(bg, backend="compiled", fastpath_mode=mode)
+        reference = color_bgpc(bg, backend="numpy", fastpath_mode=mode)
+        _assert_matches_numpy(compiled, reference)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_d2gc_matches_numpy_bytes_and_counters(self, sym_graph, mode):
+        compiled = color_d2gc(sym_graph, backend="compiled", fastpath_mode=mode)
+        reference = color_d2gc(sym_graph, backend="numpy", fastpath_mode=mode)
+        _assert_matches_numpy(compiled, reference)
+
+    def test_speculative_carries_fastpath_extras(self, bg):
+        result = color_bgpc(
+            bg, backend="compiled", fastpath_mode="speculative"
+        )
+        assert "fastpath.palette_words" in result.work_metrics
+        assert "fastpath.mask_or_words" in result.work_metrics
+
+    def test_rejects_resume_and_non_first_fit(self, bg):
+        from repro.core.policies import get_policy
+
+        with pytest.raises(ColoringError, match="cannot resume"):
+            color_bgpc(
+                bg,
+                backend="compiled",
+                initial_colors=np.full(bg.num_vertices, -1, dtype=np.int64),
+            )
+        with pytest.raises(ColoringError, match="first-fit"):
+            color_bgpc(bg, backend="compiled", policy=get_policy("B1"))
+
+    def test_rejects_unknown_mode(self, bg):
+        with pytest.raises(ColoringError, match="unknown fastpath mode"):
+            color_bgpc(bg, backend="compiled", fastpath_mode="bogus")
+
+
+class TestPureModeParity(_ParityAssertions):
+    """The plain-Python kernels, runnable on any host."""
+
+    @pytest.fixture(autouse=True)
+    def _pure(self, monkeypatch):
+        monkeypatch.setenv(PURE_ENV, "1")
+
+
+@needs_numba
+@skip_without_numba
+class TestJitParity(_ParityAssertions):
+    """The numba-compiled kernels (CI's compiled-smoke job)."""
+
+    @pytest.fixture(autouse=True)
+    def _jit(self, monkeypatch):
+        monkeypatch.delenv(PURE_ENV, raising=False)
+
+
+@skip_with_numba
+class TestMissingNumba:
+    """Without numba, selection fails in one line everywhere."""
+
+    @pytest.fixture(autouse=True)
+    def _no_pure_hook(self, monkeypatch):
+        monkeypatch.delenv(PURE_ENV, raising=False)
+
+    def test_run_raises_one_line_coloring_error(self, bg):
+        with pytest.raises(ColoringError, match="requires numba") as exc:
+            color_bgpc(bg, backend="compiled")
+        assert "\n" not in str(exc.value)
+
+    def test_cli_exits_2_with_one_error_line(self, tmp_path, rng, capsys):
+        pattern = (rng.random((12, 18)) < 0.2).astype(int)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(bipartite_from_dense(pattern), path)
+        assert cli_main([str(path), "--backend", "compiled"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "numba" in err
+        assert err.count("\n") == 1  # exactly one line, no traceback
+
+    def test_serve_fails_fast_at_startup(self, capsys):
+        assert serve_main(["--backend", "compiled", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "not available" in err
+
+    def test_router_pin_is_never_overridden(self, bg):
+        with pytest.raises(ServiceError, match="not available"):
+            SizeRouter().route(bg, backend="compiled")
+
+    def test_router_degrades_unpinned_pick_to_fallback(self, bg):
+        router = SizeRouter(small_backend="compiled")
+        assert router.route(bg) == "numpy"
+
+    def test_pure_hook_reenables_routing(self, bg, monkeypatch):
+        monkeypatch.setenv(PURE_ENV, "1")
+        router = SizeRouter(small_backend="compiled")
+        assert router.route(bg) == "compiled"
+
+
+class TestRegressMapBackend:
+    """``--map-backend`` argument validation (the full mapped run is CI's
+    compiled-smoke job; subsets legitimately fail the MISSING check)."""
+
+    def test_malformed_mapping_exits_2(self, capsys):
+        from repro.bench.regress.cli import main as regress_main
+
+        assert regress_main(["--map-backend", "numpycompiled", "--list"]) == 2
+        assert "FROM=TO" in capsys.readouterr().err
+
+    def test_unknown_backend_exits_2(self, capsys):
+        from repro.bench.regress.cli import main as regress_main
+
+        assert regress_main(["--map-backend", "numpy=gpu", "--list"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "compiled" in err
+
+    def test_mapping_keeps_case_ids(self, capsys):
+        from repro.bench.regress.cli import main as regress_main
+
+        assert regress_main(["--map-backend", "numpy=compiled", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "[map-backend] numpy -> compiled" in out
+        # Case ids are stable so the mapped run compares against the
+        # committed numpy baseline entries.
+        assert "bgpc/numpy-spec" in out

@@ -249,3 +249,52 @@ def test_cli_backend_flag(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "numpy backend" in out
     assert "wall" in out
+
+
+class TestScipyFree:
+    """The bitset rewrite removed scipy from the hot path entirely: both
+    fastpath modes must run with scipy neither imported nor importable."""
+
+    def test_speculative_runs_without_scipy(
+        self, medium_bipartite, monkeypatch
+    ):
+        import builtins
+        import sys
+
+        for name in [m for m in sys.modules if m.split(".")[0] == "scipy"]:
+            monkeypatch.delitem(sys.modules, name)
+        real_import = builtins.__import__
+
+        def guarded(name, *args, **kwargs):
+            if name.split(".")[0] == "scipy":
+                raise ImportError(f"scipy is forbidden in this test ({name})")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", guarded)
+        for mode in ("exact", "speculative"):
+            result = fastpath_color_bgpc(medium_bipartite, mode=mode)
+            validate_bgpc(medium_bipartite, result.colors)
+
+
+class TestRankDtype:
+    """Rank/prefix-sum arrays must widen to int64 before a >=2^31-entry
+    groups CSR can overflow the cumulative count (mirrors GroupLayout's
+    ``small`` check for the member-index dtype)."""
+
+    def test_boundary_selection(self):
+        from repro.core.fastpath.engine import rank_dtype
+
+        assert rank_dtype(0) == np.int32
+        assert rank_dtype(2**31 - 2) == np.int32
+        # At exactly intmax the exclusive prefix sum's last value can be
+        # intmax itself, which int32 cannot hold as a *count* — widen.
+        assert rank_dtype(2**31 - 1) == np.int64
+        assert rank_dtype(2**31) == np.int64
+
+    def test_layout_uses_small_dtype_for_small_instances(
+        self, medium_bipartite
+    ):
+        from repro.core.fastpath.engine import GroupLayout
+
+        lay = GroupLayout(medium_bipartite.net_to_vtxs)
+        assert lay.rank_dtype == np.int32

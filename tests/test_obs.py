@@ -324,12 +324,17 @@ class TestWorkMetrics:
 
     def test_numpy_backend_attaches_work_metrics(self, bg):
         from repro.obs import WORK_METRICS
+        from repro.obs.work import FASTPATH_METRICS
 
         tracer = RecordingTracer()
         result = color_bgpc(
             bg, backend="numpy", fastpath_mode="speculative", tracer=tracer
         )
-        assert set(result.work_metrics) == set(WORK_METRICS)
+        # The work vocabulary plus the speculative engine's bitset
+        # structure extras (see FASTPATH_METRICS).
+        assert set(result.work_metrics) == set(WORK_METRICS) | set(
+            FASTPATH_METRICS
+        )
         assert result.work_metrics["tasks"] >= result.colors.size
         for metric in WORK_METRICS:
             assert tracer.total(f"work.{metric}") == result.work_metrics[metric]

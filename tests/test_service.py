@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.core.backends import backend_names
+from repro.core.compiled import PURE_ENV, numba_available
 from repro.errors import ServiceError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.build import bipartite_from_edges
@@ -186,7 +187,11 @@ class TestColoringService:
         assert len(tracer.counters("cache.hit")) == 1
 
     @pytest.mark.parametrize("backend", backend_names())
-    def test_cached_identical_across_backends(self, bg, backend):
+    def test_cached_identical_across_backends(self, bg, backend, monkeypatch):
+        if backend == "compiled" and not numba_available():
+            # Pinned compiled without numba is a ServiceError by design;
+            # exercise the cache path via the plain-Python kernel hook.
+            monkeypatch.setenv(PURE_ENV, "1")
         async def run():
             async with ColoringService() as service:
                 req = ColoringRequest(

@@ -1,6 +1,7 @@
 """One module per paper table/figure; each exposes ``run(scale=...) -> Experiment``."""
 
 from repro.bench.experiments import (
+    adaptive,
     table1,
     table2,
     table3,
@@ -20,6 +21,7 @@ from repro.bench.experiments import (
 )
 
 ALL_EXPERIMENTS = {
+    "adaptive": adaptive.run,
     "table1": table1.run,
     "table2": table2.run,
     "table3": table3.run,

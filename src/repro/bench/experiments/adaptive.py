@@ -1,0 +1,149 @@
+"""Adaptive controller vs static schedules on the pinned regress instances.
+
+The question behind ``repro.core.adaptive`` (see ``docs/adaptive.md``)
+is whether a conflict-rate controller can match the best *hand-picked*
+net-removal horizon without knowing the instance in advance.  This
+experiment answers it with the deterministic work-metric counters (the
+same numbers the perf-regression gate pins), not wall clock:
+
+* **statics** — the paper's candidate schedules (``V-V-64D``, ``V-N1``,
+  ``V-N2``, ``N1-N2``, ``N1-Ninf``), each a fixed horizon someone had to
+  choose per instance;
+* **switched** — a static per-iteration *policy* switch from the ``@``
+  grammar (``V-V-64D-B1@1``: first-fit iteration 0, B1 from the first
+  recolor round), showing segment plans run end to end;
+* **adaptive** — the :class:`~repro.core.adaptive.AdaptiveSchedule`
+  controller at the default threshold, which reads the per-iteration
+  conflict rate and decides the horizon live.
+
+The instances are the perf-regression suite's pinned trio (bipartite,
+distance-2, mesh) so every number here is byte-reproducible on the
+``sim`` backend.  ``data["instances"]`` carries, per instance, each
+schedule's total work, the best static, the adaptive total and a
+``beats_static`` flag — the CI ``adaptive-smoke`` job asserts the flag
+on at least two instances.
+"""
+
+from __future__ import annotations
+
+from repro.bench.regress.suite import _get_instance
+from repro.bench.tables import Experiment
+from repro.core.adaptive import AdaptiveSchedule
+from repro.core.bgpc import color_bgpc
+from repro.core.d2gc import color_d2gc
+from repro.obs.work import WORK_METRICS
+
+__all__ = ["run", "STATIC_SCHEDULES", "SWITCHED_SCHEDULE"]
+
+#: Static horizon candidates the controller competes against.
+STATIC_SCHEDULES = ("V-V-64D", "V-N1", "V-N2", "N1-N2", "N1-Ninf")
+
+#: A static per-iteration policy switch (``@`` grammar) for contrast:
+#: the regress instances converge in two rounds, so the switch must land
+#: on iteration 1 to influence the recolor round.
+SWITCHED_SCHEDULE = "V-V-64D-B1@1"
+
+#: Instance name → coloring entry point (problems differ per instance).
+_RUNNERS = {
+    "bip-small": ("bgpc", color_bgpc),
+    "uni-small": ("d2gc", color_d2gc),
+    "mesh-small": ("bgpc", color_bgpc),
+}
+
+
+def _total_work(result) -> int:
+    return sum(int(result.work_metrics.get(m, 0)) for m in WORK_METRICS)
+
+
+def run(scale: str = "small", threads: int = 16) -> Experiment:
+    """Compare static, switched and adaptive schedules per instance.
+
+    ``scale`` is accepted for registry uniformity but ignored: the point
+    is the *pinned* regress instances, whose sizes are fixed so the work
+    totals stay byte-reproducible.
+    """
+    header = [
+        "instance",
+        "schedule",
+        "total work",
+        "colors",
+        "iters",
+        "vs best static",
+    ]
+    rows: list[tuple] = []
+    instances: dict[str, dict] = {}
+    for inst, (problem, fn) in _RUNNERS.items():
+        graph = _get_instance(inst)
+        statics: dict[str, int] = {}
+        for schedule in (*STATIC_SCHEDULES, SWITCHED_SCHEDULE):
+            result = fn(graph, schedule, threads=threads, backend="sim")
+            statics[schedule] = _total_work(result)
+            rows.append(
+                (
+                    inst,
+                    schedule,
+                    statics[schedule],
+                    result.num_colors,
+                    len(result.iterations),
+                    "",
+                )
+            )
+        best_name = min(STATIC_SCHEDULES, key=statics.__getitem__)
+        best_total = statics[best_name]
+
+        controller = AdaptiveSchedule()
+        result = fn(graph, controller, threads=threads, backend="sim")
+        adaptive_total = _total_work(result)
+        beats = adaptive_total <= best_total
+        rows.append(
+            (
+                inst,
+                controller.name,
+                adaptive_total,
+                result.num_colors,
+                len(result.iterations),
+                f"{adaptive_total / best_total:.3f}x {best_name}",
+            )
+        )
+        instances[inst] = {
+            "problem": problem,
+            "statics": statics,
+            "best_static": best_name,
+            "best_static_total": best_total,
+            "adaptive_total": adaptive_total,
+            "beats_static": beats,
+            "switched_at": controller.switched_at,
+            "decisions": [
+                {
+                    "iteration": d.iteration,
+                    "queue_size": d.queue_size,
+                    "conflicts": d.conflicts,
+                    "rate": d.rate,
+                    "conflict_checks": d.conflict_checks,
+                    "next_regime": d.next_regime,
+                }
+                for d in controller.decisions
+            ],
+        }
+
+    beat_count = sum(1 for v in instances.values() if v["beats_static"])
+    notes = (
+        "Deterministic sim-backend work totals (sum of "
+        f"{', '.join(WORK_METRICS)}) on the pinned regress instances; "
+        "'scale' is ignored so totals stay byte-reproducible.  The "
+        f"adaptive controller matched or beat the best static horizon on "
+        f"{beat_count}/{len(instances)} instances without any per-instance "
+        "tuning — the conflict rate alone decides when the O(|E|) "
+        "net-removal sweep stops paying."
+    )
+    return Experiment(
+        id="adaptive",
+        title=(
+            "Adaptive conflict-rate controller vs static schedule horizons "
+            f"({threads} simulated threads)"
+        ),
+        header=header,
+        rows=rows,
+        notes=notes,
+        data={"instances": instances, "threads": threads},
+    )

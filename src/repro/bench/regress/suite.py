@@ -142,6 +142,16 @@ def default_suite() -> list[BenchCase]:
         BenchCase("bgpc/N2-N2-B1/sim16", "bgpc", "bip-small", "N2-N2-B1"),
         BenchCase("d2gc/V-V/sim16", "d2gc", "uni-small", "V-V"),
         BenchCase("d2gc/N1-N2/sim16", "d2gc", "uni-small", "N1-N2"),
+        # Per-iteration schedule switching: a static "@" segment plan and
+        # the adaptive conflict-rate controller.  Both are deterministic
+        # on sim (controller decisions are pure functions of the pinned
+        # counters — see docs/adaptive.md), so their work is pinned like
+        # any static schedule's.
+        BenchCase(
+            "bgpc/V-V-64D-B1@1/sim16", "bgpc", "bip-small", "V-V-64D-B1@1"
+        ),
+        BenchCase("bgpc/adaptive/sim16", "bgpc", "bip-small", "adaptive"),
+        BenchCase("d2gc/adaptive/sim16", "d2gc", "uni-small", "adaptive"),
         # Vectorized fast path: single-process, deterministic.
         BenchCase(
             "bgpc/numpy-exact", "bgpc", "bip-small", "N1-N2",

@@ -12,6 +12,7 @@ Usage::
     python -m repro input.mtx --profile --trace run.jsonl
     python -m repro input.mtx --work-metrics
     python -m repro input.mtx --algo V-V --delta changes.json
+    python -m repro input.mtx --schedule adaptive --threads 16
 
 ``--algo`` accepts any spec the schedule grammar admits (``V-N∞``,
 ``n1-n2-b1``, …), not just the named table entries, and ``--backend``
@@ -59,11 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--algorithm",
         "--algo",
+        "--schedule",
         default="N1-N2",
         help="algorithm variant: a named schedule "
-        f"({', '.join(sorted(BGPC_ALGORITHMS))}), 'sequential', or any "
-        "spec in the paper's grammar such as V-N∞ or N1-N2-B1 "
-        "(default: N1-N2); see docs/algorithms.md",
+        f"({', '.join(sorted(BGPC_ALGORITHMS))}), 'sequential', any "
+        "spec in the paper's grammar such as V-N∞, N1-N2-B1 or the "
+        "switched V-V-64D-B1@2, or 'adaptive[:threshold]' for the "
+        "conflict-rate controller (kernel-level backends only) "
+        "(default: N1-N2); see docs/algorithms.md and docs/adaptive.md",
     )
     parser.add_argument(
         "--threads",

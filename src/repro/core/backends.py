@@ -340,7 +340,12 @@ class ProcessPhaseEngine:
             return self._run_inline(plan, n_tasks, kernel, task_ids)
         if use_work:
             self.work[:n_tasks] = task_ids
-        phase_key = f"{plan.phase}:{plan.kind}"
+        # The dispatch key carries the active balancing label for coloring
+        # phases so workers build (and cache) the right policy kernel — a
+        # switched schedule changes the label mid-run.  Removal kernels are
+        # policy-free, so their label is pinned to keep the cache key stable.
+        label = plan.balancing if plan.phase == PhaseKind.COLOR else "U"
+        phase_key = f"{plan.phase}:{plan.kind}:{label}"
         ranges = [
             (phase_key, lo, min(lo + chunk, n_tasks), use_work)
             for lo in range(0, n_tasks, chunk)
@@ -494,7 +499,20 @@ def run_plan_loop(
     counter events (iteration/phase/kind attributes) and folded into the
     run totals returned in :attr:`ColoringResult.work_metrics
     <repro.types.ColoringResult.work_metrics>`.
+
+    Feedback: ``schedule`` may be a full
+    :class:`~repro.core.adaptive.ScheduleController` rather than a static
+    spec — when it exposes ``observe``, the loop reports every iteration's
+    queue size, conflict count and removal-phase work counters back to it
+    (after calling ``reset()`` once up front), so the controller's *next*
+    ``iteration_plan`` call can pick different kernels or balancing.
+
+    Balancing: each iteration's policy label comes from its
+    :class:`~repro.core.plan.PhasePlan` (static suffix, ``@`` switch
+    segments, or a controller decision); coloring kernels are built lazily
+    per label.  An explicit ``policy`` argument wins for the whole run.
     """
+    from repro.core.policies import get_policy
     from repro.obs.tracer import ensure_tracer
     from repro.obs.work import WorkCounters
 
@@ -509,13 +527,38 @@ def run_plan_loop(
         if tracer.enabled:
             phase_work.emit(tracer, iteration=iteration, phase=phase, kind=kind)
 
-    vertex_policy = policy if policy is not None else FirstFit()
-    net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
+    color_kernels: dict[str, tuple[Callable, Callable]] = {}
 
-    vertex_color = adapter.make_vertex_color_kernel(vertex_policy)
-    net_color = adapter.make_net_color_kernel(net_policy)
+    def _color_kernels(label: str) -> tuple[Callable, Callable]:
+        # One (vertex, net) coloring-kernel pair per active balancing
+        # label, built on first use — at most three pairs, and exactly one
+        # when an explicit policy pins the whole run.
+        key = label if policy is None else "explicit"
+        kernels = color_kernels.get(key)
+        if kernels is None:
+            if policy is not None:
+                vertex_policy = policy
+            elif label == "U":
+                vertex_policy = FirstFit()
+            else:
+                vertex_policy = get_policy(label)
+            net_policy = (
+                None if isinstance(vertex_policy, FirstFit) else vertex_policy
+            )
+            kernels = (
+                adapter.make_vertex_color_kernel(vertex_policy),
+                adapter.make_net_color_kernel(net_policy),
+            )
+            color_kernels[key] = kernels
+        return kernels
+
     vertex_remove = adapter.make_vertex_removal_kernel()
     net_remove = adapter.make_net_removal_kernel()
+
+    reset = getattr(schedule, "reset", None)
+    if reset is not None:
+        reset()
+    observe = getattr(schedule, "observe", None)
 
     if initial_work is None:
         work = np.arange(adapter.n_targets, dtype=np.int64)
@@ -543,6 +586,7 @@ def run_plan_loop(
                     f"({work.size} vertices still queued)"
                 )
             plan = schedule.iteration_plan(iteration)
+            vertex_color, net_color = _color_kernels(plan.color.balancing)
             with tracer.span(
                 "iteration", iteration=iteration, queue_size=int(work.size)
             ) as iter_span:
@@ -628,6 +672,14 @@ def run_plan_loop(
                         colors_introduced=colors_introduced,
                         wall_seconds=iter_wall,
                     )
+                if observe is not None:
+                    observe(
+                        iteration,
+                        queue_size=int(work.size),
+                        conflicts=int(next_work.size),
+                        work=getattr(engine, "last_work", None),
+                        tracer=tracer,
+                    )
             work = next_work
             iteration += 1
 
@@ -710,6 +762,10 @@ class _KernelLoopBackend:
 
     name = ""
     engine_cls: type | None = None
+    #: Kernel-level backends drive :func:`run_plan_loop` and therefore can
+    #: execute adaptive :class:`~repro.core.adaptive.ScheduleController`
+    #: schedules; whole-array and superstep backends cannot.
+    supports_controller = True
 
     def make_engine(
         self, initial_colors: np.ndarray, threads: int, cost=None, tracer=None
@@ -804,6 +860,7 @@ class ProcessBackend:
     """
 
     name = "process"
+    supports_controller = True
 
     def run(
         self,

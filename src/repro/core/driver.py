@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.backends import backend_names, get_backend
 from repro.core.plan import INF_ITERS, AlgorithmSpec, ScheduleSpec
 from repro.core.policies import FirstFit, get_policy
+from repro.errors import ColoringError
 from repro.machine.machine import Machine
 from repro.machine.scheduler import Schedule
 from repro.types import ColoringResult, IterationRecord, PhaseKind, UNCOLORED
@@ -90,11 +91,14 @@ def run_speculative(
     """Run the full speculative loop of ``spec`` on the chosen backend.
 
     ``spec`` may be a schedule name in the paper's grammar (``"N1-N2"``,
-    ``"v-n∞"``, ``"N1-Ninf-B2"`` — see :meth:`ScheduleSpec.parse
-    <repro.core.plan.ScheduleSpec.parse>`), a structured
-    :class:`~repro.core.plan.ScheduleSpec`, or a legacy
+    ``"v-n∞"``, ``"N1-Ninf-B2"``, ``"V-V-64D-B1@2"`` — see
+    :meth:`ScheduleSpec.parse <repro.core.plan.ScheduleSpec.parse>`), a
+    structured :class:`~repro.core.plan.ScheduleSpec`, a legacy
     :class:`~repro.core.plan.AlgorithmSpec` (still supported; its display
-    name is preserved).
+    name is preserved), an adaptive name (``"adaptive"``,
+    ``"adaptive:0.1"``) or :class:`~repro.core.adaptive.AdaptiveSchedule`
+    controller — adaptive schedules require a kernel-level backend
+    (``sim``/``threaded``/``process``; see ``docs/adaptive.md``).
 
     ``policy`` selects the color-choice heuristic for vertex-based coloring
     and, when it is B1/B2, also replaces the reverse-first-fit cursor inside
@@ -130,14 +134,35 @@ def run_speculative(
     on finite graphs, but guards pathological custom kernels).
     """
     engine_backend = get_backend(backend)
-    schedule = ScheduleSpec.parse(spec)
-    name = (
-        spec.name
-        if isinstance(spec, (AlgorithmSpec, ScheduleSpec))
-        else schedule.name
-    )
-    if policy is None and schedule.balancing != "U":
-        policy = get_policy(schedule.balancing)
+    if isinstance(spec, str):
+        from repro.core.adaptive import is_adaptive_name, parse_adaptive
+
+        if is_adaptive_name(spec):
+            spec = parse_adaptive(spec)
+    if hasattr(spec, "observe"):
+        # An adaptive ScheduleController: it picks kernels and balancing
+        # per iteration from the loop's feedback, so only backends that
+        # actually drive run_plan_loop can honor it.
+        if not getattr(engine_backend, "supports_controller", False):
+            raise ColoringError(
+                f"backend={backend!r} cannot run adaptive schedules (it "
+                "does not drive the kernel-level plan loop); use sim, "
+                "threaded or process"
+            )
+        schedule = spec
+        name = spec.name
+    else:
+        schedule = ScheduleSpec.parse(spec)
+        name = (
+            spec.name
+            if isinstance(spec, (AlgorithmSpec, ScheduleSpec))
+            else schedule.name
+        )
+        # A static balancing suffix resolves one policy for the whole run;
+        # schedules with "@" switch segments leave policy=None so the plan
+        # loop can resolve the active label per iteration.
+        if policy is None and schedule.balancing != "U" and not schedule.switches:
+            policy = get_policy(schedule.balancing)
     return engine_backend.run(
         adapter,
         schedule,

@@ -18,18 +18,30 @@ balancing policy.  This module makes that matrix first-class:
 
 Grammar (case-insensitive; ``∞`` and ``inf`` are interchangeable)::
 
-    spec     := color "-" removal ("-" chunk)? ("-" balancing)?
+    spec     := color "-" removal ("-" chunk)? ("-" balancing)? ("-" switch)*
     color    := "V" | "N" horizon          # net-based coloring horizon
     removal  := "V" | "N" horizon          # net-based removal horizon
     horizon  := integer >= 1 | "inf" | "∞"
     chunk    := integer "D"? | "D"         # dynamic chunk; D = lazy private
                                            # queues (the paper's D fix)
     balancing:= "B1" | "B2" | "U"          # §V policies; U = plain first-fit
+    switch   := balancing "@" integer >= 1 # per-iteration policy switch
 
 Defaults reproduce the paper's tables: a bare ``V-V`` is ColPack's default
 (chunk 1, immediate atomic shared queue); any spec with a net-based horizon
 gets the engineered defaults (chunk 64, lazy private queues).  A bare ``D``
 implies chunk 64.
+
+Switch segments change the *balancing policy* mid-run: ``"V-V-64D-B1@2"``
+runs plain first-fit for iterations 0–1 and B1 from iteration 2 on.
+Multiple segments are allowed (``"V-V-B1@1-B2@3"``) with strictly
+increasing iteration breakpoints; iteration 0's policy is the base
+balancing token (``U`` when absent), so a breakpoint must be >= 1.
+:meth:`ScheduleSpec.active_balancing` resolves the label an iteration
+runs under, and :meth:`ScheduleSpec.iteration_plan` stamps it into both
+phase plans so every kernel-level backend honors the switch through
+``run_plan_loop`` (whole-array and sharded backends keep their own round
+structure, exactly as they already do for chunk sizes and horizons).
 
 Validation lives here too: net-based coloring finds its work by
 ``c[u] == UNCOLORED``, so every net-coloring iteration after the first must
@@ -49,6 +61,7 @@ from repro.types import PhaseKind
 
 __all__ = [
     "INF_ITERS",
+    "GRAMMAR_HINT",
     "PAPER_SCHEDULES",
     "BALANCING_POLICIES",
     "AlgorithmSpec",
@@ -206,14 +219,22 @@ def _parse_phase_token(token: str, raw: str) -> int:
     raise _parse_error(raw, f"bad phase token {token!r}")
 
 
+#: The grammar summary quoted by every parse-error message.
+GRAMMAR_HINT = "'<V|Nk|Ninf>-<V|Nk|Ninf>[-<chunk>[D]][-B1|-B2][-<B1|B2|U>@<iter>...]'"
+
+
 def _parse_error(raw: str, detail: str = "") -> ColoringError:
     hint = f" ({detail})" if detail else ""
-    return ColoringError(
+    error = ColoringError(
         f"cannot parse schedule {raw!r}{hint}; expected one of the named "
         f"schedules {list(PAPER_SCHEDULES)} or a spec matching "
-        "'<V|Nk|Ninf>-<V|Nk|Ninf>[-<chunk>[D]][-B1|-B2]' "
+        f"{GRAMMAR_HINT} "
         "(case-insensitive, '∞' == 'inf')"
     )
+    # Carried so resolve_schedule can surface the specific reason ("bad
+    # switch segment ...") inside its unknown-algorithm message.
+    error.detail = detail
+    return error
 
 
 @dataclass(frozen=True)
@@ -238,7 +259,13 @@ class ScheduleSpec:
         Next-work queue construction for vertex-based removals:
         ``"atomic"`` or ``"private"`` (the ``D`` fix).
     balancing:
-        ``"U"`` (plain first-fit), ``"B1"`` or ``"B2"`` (§V heuristics).
+        ``"U"`` (plain first-fit), ``"B1"`` or ``"B2"`` (§V heuristics) —
+        the policy iteration 0 starts under.
+    switches:
+        Per-iteration policy switches as ``(iteration, policy)`` pairs with
+        strictly increasing iterations >= 1 (the grammar's ``POLICY@ITER``
+        segments): from ``iteration`` on, coloring uses ``policy`` instead
+        of the previous label.  Empty for a single-policy run.
     """
 
     net_color_iters: int = 0
@@ -246,6 +273,7 @@ class ScheduleSpec:
     chunk: int = 64
     queue_mode: str = QUEUE_PRIVATE
     balancing: str = "U"
+    switches: tuple[tuple[int, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.chunk < 1:
@@ -256,6 +284,27 @@ class ScheduleSpec:
             raise ColoringError(
                 f"bad balancing {self.balancing!r}; choose from {BALANCING_POLICIES}"
             )
+        switches = tuple(
+            (int(iteration), str(policy)) for iteration, policy in self.switches
+        )
+        object.__setattr__(self, "switches", switches)
+        previous = 0
+        for iteration, policy in switches:
+            if policy not in BALANCING_POLICIES:
+                raise ColoringError(
+                    f"bad switch policy {policy!r}; choose from {BALANCING_POLICIES}"
+                )
+            if iteration < 1:
+                raise ColoringError(
+                    f"switch iteration must be >= 1, got {iteration} "
+                    "(iteration 0 runs the base balancing policy)"
+                )
+            if iteration <= previous and previous:
+                raise ColoringError(
+                    f"switch iterations must be strictly increasing, got "
+                    f"{iteration} after {previous}"
+                )
+            previous = iteration
         validate_horizons(str(self), self.net_color_iters, self.net_removal_iters)
 
     # -- naming ---------------------------------------------------------------
@@ -278,6 +327,8 @@ class ScheduleSpec:
             parts.append(f"{self.chunk}{suffix}")
         if self.balancing != "U":
             parts.append(self.balancing)
+        for iteration, policy in self.switches:
+            parts.append(f"{policy}@{iteration}")
         return "-".join(parts)
 
     @staticmethod
@@ -320,9 +371,32 @@ class ScheduleSpec:
         chunk: int | None = None
         private: bool | None = None
         balancing: str | None = None
+        switches: list[tuple[int, str]] = []
         for token in tokens[2:]:
             t = token.upper()
-            if t in ("B1", "B2", "U"):
+            if "@" in t:
+                policy, _, at = t.partition("@")
+                if policy not in BALANCING_POLICIES:
+                    raise _parse_error(
+                        raw,
+                        f"bad switch segment {token!r}: policy must be one "
+                        f"of {BALANCING_POLICIES}",
+                    )
+                if not at.isdigit():
+                    raise _parse_error(
+                        raw,
+                        f"bad switch segment {token!r}: expected "
+                        "<B1|B2|U>@<iteration> with an integer iteration >= 1",
+                    )
+                start = int(at)
+                if start < 1:
+                    raise _parse_error(
+                        raw,
+                        f"bad switch segment {token!r}: iteration must be "
+                        ">= 1 (iteration 0 runs the base balancing policy)",
+                    )
+                switches.append((start, policy))
+            elif t in BALANCING_POLICIES:
                 if balancing is not None:
                     raise _parse_error(raw, "duplicate balancing token")
                 balancing = t
@@ -334,6 +408,15 @@ class ScheduleSpec:
                     raise _parse_error(raw, "duplicate chunk token")
                 chunk = int(m.group(1)) if m.group(1) else None
                 private = m.group(2) is not None
+        for (a, _), (b, _) in zip(switches, switches[1:]):
+            if b == a:
+                raise _parse_error(raw, f"duplicate switch iteration {b}")
+            if b < a:
+                raise _parse_error(
+                    raw,
+                    f"switch iterations must be strictly increasing, got "
+                    f"{b} after {a}",
+                )
         default_chunk, default_queue = cls._shape_defaults(
             net_color_iters, net_removal_iters
         )
@@ -352,6 +435,7 @@ class ScheduleSpec:
             chunk=chunk_val,
             queue_mode=queue_mode,
             balancing=balancing if balancing is not None else "U",
+            switches=tuple(switches),
         )
 
     # -- conversions ----------------------------------------------------------
@@ -369,8 +453,9 @@ class ScheduleSpec:
     def to_algorithm_spec(self, name: str | None = None) -> AlgorithmSpec:
         """The backward-compatible :class:`AlgorithmSpec` of this schedule.
 
-        ``balancing`` has no ``AlgorithmSpec`` field; it survives in the
-        canonical name (e.g. ``"N1-N2-B1"``) and is re-derived on parse.
+        ``balancing`` and ``switches`` have no ``AlgorithmSpec`` field; they
+        survive in the canonical name (e.g. ``"N1-N2-B1"``,
+        ``"V-V-64D-B1@2"``) and are re-derived on parse.
         """
         return AlgorithmSpec(
             name=name if name is not None else str(self),
@@ -382,23 +467,38 @@ class ScheduleSpec:
 
     # -- the plan -------------------------------------------------------------
 
+    def active_balancing(self, iteration: int) -> str:
+        """The balancing policy label iteration ``iteration`` runs under.
+
+        The base :attr:`balancing` until the first switch segment whose
+        iteration has been reached, then that segment's policy, and so on —
+        the last crossed breakpoint wins.
+        """
+        label = self.balancing
+        for start, policy in self.switches:
+            if iteration < start:
+                break
+            label = policy
+        return label
+
     def iteration_plan(self, iteration: int) -> IterationPlan:
         """Resolve iteration ``iteration`` into its two phase plans."""
         color_kind = KIND_NET if iteration < self.net_color_iters else KIND_VERTEX
         remove_kind = KIND_NET if iteration < self.net_removal_iters else KIND_VERTEX
+        balancing = self.active_balancing(iteration)
         color = PhasePlan(
             phase=PhaseKind.COLOR,
             kind=color_kind,
             chunk=self.chunk,
             queue_mode=QUEUE_NONE,
-            balancing=self.balancing,
+            balancing=balancing,
         )
         remove = PhasePlan(
             phase=PhaseKind.REMOVE,
             kind=remove_kind,
             chunk=self.chunk,
             queue_mode=self.queue_mode if remove_kind == KIND_VERTEX else QUEUE_NONE,
-            balancing=self.balancing,
+            balancing=balancing,
         )
         return IterationPlan(index=iteration, color=color, remove=remove)
 
@@ -429,26 +529,41 @@ def resolve_schedule(
     algorithm: "str | ScheduleSpec | AlgorithmSpec",
     table: dict[str, AlgorithmSpec] | None = None,
     problem: str = "",
-) -> "ScheduleSpec | AlgorithmSpec":
+) -> "ScheduleSpec | AlgorithmSpec | object":
     """Resolve a user-facing algorithm argument to a runnable spec.
 
     Structured specs pass through.  Strings are alias-normalized and looked
     up in ``table`` first (so named schedules keep their exact registered
     spec and display name), falling back to the parsed spec for any novel
-    combination the grammar admits (e.g. ``"N1-Ninf-B2"``).  Unknown names
-    raise a :class:`~repro.errors.ColoringError` listing the valid names.
+    combination the grammar admits (e.g. ``"N1-Ninf-B2"``).  The adaptive
+    controller names (``"adaptive"``, ``"adaptive:<threshold>"`` — see
+    :mod:`repro.core.adaptive`) resolve to a fresh
+    :class:`~repro.core.adaptive.AdaptiveSchedule`.  Unknown names raise a
+    :class:`~repro.errors.ColoringError` listing the valid names.
     """
     if isinstance(algorithm, (ScheduleSpec, AlgorithmSpec)):
         return algorithm
+    if hasattr(algorithm, "observe") and hasattr(algorithm, "iteration_plan"):
+        # A ScheduleController instance (e.g. AdaptiveSchedule) passes
+        # through like a structured spec; the driver gates backends.
+        return algorithm
+    if isinstance(algorithm, str):
+        # Deferred import: repro.core.adaptive builds on this module.
+        from repro.core.adaptive import is_adaptive_name, parse_adaptive
+
+        if is_adaptive_name(algorithm):
+            return parse_adaptive(algorithm)
     try:
         spec = ScheduleSpec.parse(algorithm)
     except ColoringError as exc:
         known = sorted(table) if table else list(PAPER_SCHEDULES)
         label = f"{problem} " if problem else ""
+        detail = getattr(exc, "detail", "")
+        reason = f" ({detail})" if detail else ""
         raise ColoringError(
-            f"unknown {label}algorithm {algorithm!r}; choose from {known} "
-            "or any spec matching "
-            "'<V|Nk|Ninf>-<V|Nk|Ninf>[-<chunk>[D]][-B1|-B2]'"
+            f"unknown {label}algorithm {algorithm!r}{reason}; choose from "
+            f"{known}, 'adaptive[:threshold]', or any spec matching "
+            f"{GRAMMAR_HINT}"
         ) from exc
     if table is not None:
         canonical = str(spec)

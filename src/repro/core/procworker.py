@@ -161,18 +161,26 @@ class _WorkerState:
         return kern
 
     def _build_kernel(self, phase_key: str):
-        from repro.core.policies import FirstFit
+        from repro.core.policies import FirstFit, get_policy
 
+        # Keys are "<phase>:<kind>" or "<phase>:<kind>:<balancing>" — the
+        # parent appends the active balancing label when a schedule switches
+        # policies mid-run, so each label gets (and caches) its own coloring
+        # kernel.  An explicit run-wide policy (spec["policy"]) still wins.
+        phase, _, rest = phase_key.partition(":")
+        kind, _, label = rest.partition(":")
         policy = self.policy
+        if policy is None and label in ("B1", "B2"):
+            policy = get_policy(label)
         vertex_policy = policy if policy is not None else FirstFit()
         net_policy = None if policy is None or isinstance(policy, FirstFit) else policy
-        if phase_key == "color:vertex":
+        if (phase, kind) == ("color", "vertex"):
             return self.adapter.make_vertex_color_kernel(vertex_policy)
-        if phase_key == "color:net":
+        if (phase, kind) == ("color", "net"):
             return self.adapter.make_net_color_kernel(net_policy)
-        if phase_key == "remove:vertex":
+        if (phase, kind) == ("remove", "vertex"):
             return self.adapter.make_vertex_removal_kernel()
-        if phase_key == "remove:net":
+        if (phase, kind) == ("remove", "net"):
             return self.adapter.make_net_removal_kernel()
         raise ValueError(f"unknown phase key {phase_key!r}")
 

@@ -58,14 +58,20 @@ def request_key(
     """The full cache key of one coloring request.
 
     ``algorithm`` is canonicalized through the schedule grammar
-    (``"v-n∞"`` and ``"V-Ninf"`` share a key); ``"sequential"`` passes
-    through.  Everything else is included verbatim — the key must separate
+    (``"v-n∞"`` and ``"V-Ninf"`` share a key); adaptive controller names
+    canonicalize through :func:`repro.core.adaptive.parse_adaptive`
+    (``"ADAPTIVE:0.10"`` and ``"adaptive:0.1"`` share a key);
+    ``"sequential"`` passes through.  Everything else is included verbatim — the key must separate
     any two configurations that can color differently, including
     nondeterministic backends at different thread counts.
     """
+    from repro.core.adaptive import is_adaptive_name, parse_adaptive
     from repro.core.plan import normalize_schedule_name
 
-    if algorithm != "sequential":
+    if is_adaptive_name(algorithm):
+        # Canonical controller spelling ("ADAPTIVE:0.10" == "adaptive:0.1").
+        algorithm = parse_adaptive(algorithm).name
+    elif algorithm != "sequential":
         algorithm = normalize_schedule_name(algorithm)
     config = "|".join(
         (

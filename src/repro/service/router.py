@@ -92,11 +92,17 @@ class SizeRouter:
         bg: BipartiteGraph,
         backend: str | None = None,
         policy: str = "U",
+        adaptive: bool = False,
     ) -> str:
         """The backend name a request should run on.
 
         An explicit ``backend`` wins (validated against the registry);
-        otherwise the size/policy rules above decide.
+        otherwise the size/policy rules above decide.  ``adaptive`` marks a
+        request for an adaptive controller schedule (``"adaptive[:t]"``),
+        which only kernel-level backends can run: a pinned whole-array or
+        sharded backend is rejected, and the size rules pick
+        ``policy_backend`` for small instances or ``large_backend`` (never
+        the sharded tier) once real parallelism pays.
         """
         if backend is not None:
             if backend not in backend_names():
@@ -110,8 +116,20 @@ class SizeRouter:
                     "(missing optional dependency); unpin the backend or "
                     "install it"
                 )
+            if adaptive and not _supports_controller(backend):
+                raise ServiceError(
+                    f"backend {backend!r} cannot run adaptive schedules "
+                    "(no kernel-level plan loop); pin sim, threaded or "
+                    "process, or unpin the backend"
+                )
             return backend
         if policy != "U":
+            return self.policy_backend
+        if adaptive:
+            if bg.num_edges >= self.edge_threshold and _supports_controller(
+                self.large_backend
+            ):
+                return self._degrade(self.large_backend)
             return self.policy_backend
         if bg.num_edges >= self.sharded_threshold:
             return self._degrade(self.huge_backend)
@@ -138,3 +156,8 @@ def _is_available(name: str) -> bool:
     """A backend is available unless it declares ``available() -> False``."""
     probe = getattr(get_backend(name), "available", None)
     return True if probe is None else bool(probe())
+
+
+def _supports_controller(name: str) -> bool:
+    """Whether a backend can run adaptive ``ScheduleController`` schedules."""
+    return bool(getattr(get_backend(name), "supports_controller", False))

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 from repro.core.bgpc import color_bgpc, sequential_bgpc
 from repro.core.incremental import recolor_incremental
+from repro.core.adaptive import is_adaptive_name, parse_adaptive
 from repro.core.plan import normalize_schedule_name
 from repro.core.policies import POLICIES, get_policy
 from repro.errors import GraphError, ReproError, ServiceError
@@ -270,9 +271,17 @@ class ColoringService:
                 "from ['exact', 'speculative']"
             )
         algorithm = request.algorithm
+        adaptive = is_adaptive_name(algorithm)
         if algorithm != "sequential":
             try:
-                algorithm = normalize_schedule_name(algorithm)
+                # Adaptive names normalize through their own grammar
+                # ("adaptive[:threshold]"); everything else through the
+                # schedule grammar.
+                algorithm = (
+                    parse_adaptive(algorithm).name
+                    if adaptive
+                    else normalize_schedule_name(algorithm)
+                )
             except ReproError as exc:
                 raise ServiceError(str(exc)) from None
         backend = self.router.route(
@@ -281,6 +290,7 @@ class ColoringService:
             if request.backend is not None
             else self.default_backend,
             request.policy,
+            adaptive=adaptive,
         )
         threads = (
             request.threads
@@ -385,8 +395,13 @@ class ColoringService:
                 "delta requests cannot use 'sequential' (there is no "
                 "speculative loop to resume); name a schedule such as V-V"
             )
+        adaptive = is_adaptive_name(request.algorithm)
         try:
-            algorithm = normalize_schedule_name(request.algorithm)
+            algorithm = (
+                parse_adaptive(request.algorithm).name
+                if adaptive
+                else normalize_schedule_name(request.algorithm)
+            )
         except ReproError as exc:
             raise ServiceError(str(exc)) from None
         base = self._graphs.get(request.fingerprint)
@@ -403,6 +418,7 @@ class ColoringService:
             if request.backend is not None
             else self.default_backend,
             request.policy,
+            adaptive=adaptive,
         )
         if backend == "numpy":
             # The numpy engine cannot resume a partial coloring; remap to

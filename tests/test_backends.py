@@ -123,6 +123,57 @@ class TestParityMatrix:
         assert sim.colors.tobytes() == fast.colors.tobytes()
 
 
+class TestSwitchedScheduleParity:
+    """Per-iteration ``@`` policy switches run on every backend.
+
+    Whole-array backends ignore kernel plans (they already ignore the
+    static balancing suffix the same way), so a switched spec must stay
+    *valid* everywhere and byte-match the usual parity anchors.
+    """
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_valid_on_every_backend(self, bg, backend, monkeypatch):
+        _runnable(backend, monkeypatch)
+        result = color_bgpc(bg, algorithm="V-V-64D-B1@2", threads=4, backend=backend)
+        validate_bgpc(bg, result.colors)
+        assert result.algorithm == "V-V-64D-B1@2"
+
+    def test_numpy_exact_matches_sequential_bytes(self, bg):
+        exact = color_bgpc(bg, algorithm="V-V-64D-B1@2", backend="numpy")
+        seq = sequential_bgpc(bg)
+        assert exact.colors.tobytes() == seq.colors.tobytes()
+
+    def test_one_thread_sim_matches_sequential_bytes(self, bg):
+        # One simulated thread is race-free: the loop converges before any
+        # switch iteration is reached, reducing to sequential greedy.
+        sim = color_bgpc(bg, algorithm="V-V-64D-B1@2", threads=1, backend="sim")
+        seq = sequential_bgpc(bg)
+        assert sim.colors.tobytes() == seq.colors.tobytes()
+
+    def test_noop_switch_is_byte_identical(self, bg):
+        # Switching to the policy already active must not perturb anything.
+        plain = color_bgpc(bg, algorithm="V-V-64D", threads=16, backend="sim")
+        switched = color_bgpc(bg, algorithm="V-V-64D-U@3", threads=16, backend="sim")
+        assert plain.colors.tobytes() == switched.colors.tobytes()
+        assert plain.work_metrics == switched.work_metrics
+
+    def test_switch_shares_iteration_zero_with_base(self, bg):
+        # B1@1 runs first-fit at iteration 0 exactly like the unswitched
+        # spec, so the first iteration's record is identical; later
+        # iterations recolor the conflict queue with B1 instead.
+        plain = color_bgpc(bg, algorithm="V-V-64D", threads=16, backend="sim")
+        switched = color_bgpc(bg, algorithm="V-V-64D-B1@1", threads=16, backend="sim")
+        assert switched.iterations[0].queue_size == plain.iterations[0].queue_size
+        assert switched.iterations[0].conflicts == plain.iterations[0].conflicts
+        validate_bgpc(bg, switched.colors)
+
+    def test_process_multiworker_switched_valid(self, bg):
+        result = color_bgpc(
+            bg, algorithm="V-V-64D-B1@1", threads=2, backend="process"
+        )
+        validate_bgpc(bg, result.colors)
+
+
 class TestThreadedBackend:
     def test_converges_and_reports_wall(self, bg):
         result = color_bgpc(bg, algorithm="V-V-64D", threads=4, backend="threaded")

@@ -66,8 +66,9 @@ class TestExperimentsTinyScale:
     def test_registry_complete(self):
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
-            "figure1", "figure2", "figure3", "ablations", "manycore",
-            "profile", "scaling", "serve", "incremental", "shards",
+            "figure1", "figure2", "figure3", "ablations", "adaptive",
+            "manycore", "profile", "scaling", "serve", "incremental",
+            "shards",
         }
 
     @pytest.mark.parametrize("name", ["table1", "table2", "table6", "figure1",
@@ -101,6 +102,19 @@ class TestExperimentsTinyScale:
         assert all(row[2] > 0 for row in exp.rows)  # wall ms measured
         assert exp.data["host_cores"] >= 1
         assert "core(s)" in exp.notes
+
+    def test_adaptive_matches_best_static(self):
+        exp = ALL_EXPERIMENTS["adaptive"](scale="tiny", threads=16)
+        instances = exp.data["instances"]
+        assert len(instances) == 3
+        beat = [k for k, v in instances.items() if v["beats_static"]]
+        # The acceptance bar the CI adaptive-smoke job enforces: the
+        # controller matches or beats the best static horizon on at
+        # least two of the pinned instances.
+        assert len(beat) >= 2
+        for v in instances.values():
+            assert v["adaptive_total"] > 0
+            assert v["decisions"]  # one decision per iteration
 
     def test_incremental_beats_full_recolor(self):
         exp = ALL_EXPERIMENTS["incremental"](scale="tiny", threads=4)

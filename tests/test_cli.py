@@ -68,6 +68,33 @@ class TestCli:
         assert main([str(mtx_file), "--algo", "v-n∞"]) == 0
         assert "V-Ninf" in capsys.readouterr().out
 
+    def test_schedule_alias_flag(self, mtx_file, capsys):
+        # --schedule is an alias of --algorithm; switched specs run too.
+        assert main([str(mtx_file), "--schedule", "V-V-64D-B1@2"]) == 0
+        assert "V-V-64D-B1@2" in capsys.readouterr().out
+
+    def test_schedule_adaptive(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--schedule", "adaptive"]) == 0
+        assert "adaptive" in capsys.readouterr().out
+
+    def test_schedule_adaptive_threshold(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--schedule", "adaptive:0.2"]) == 0
+        assert "adaptive:0.2" in capsys.readouterr().out
+
+    def test_malformed_switch_segment_exits_2(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--schedule", "V-V-B1@"]) == 2
+        err = capsys.readouterr().err
+        assert "bad switch segment" in err
+
+    def test_malformed_adaptive_exits_2(self, mtx_file, capsys):
+        assert main([str(mtx_file), "--schedule", "adaptive:nope"]) == 2
+        assert "cannot parse adaptive" in capsys.readouterr().err
+
+    def test_adaptive_on_numpy_backend_exits_2(self, mtx_file, capsys):
+        args = [str(mtx_file), "--schedule", "adaptive", "--backend", "numpy"]
+        assert main(args) == 2
+        assert "cannot run adaptive" in capsys.readouterr().err
+
     def test_threads_flag(self, mtx_file, capsys):
         assert main([str(mtx_file), "--threads", "4"]) == 0
         assert "4 simulated threads" in capsys.readouterr().out

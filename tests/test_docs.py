@@ -256,6 +256,20 @@ def test_cli_scan_finds_the_sharding_docs():
     ), "docs/sharding.md quotes no shards bench command"
 
 
+def test_cli_scan_finds_the_adaptive_docs():
+    """docs/adaptive.md must quote runnable ``--schedule adaptive``
+    commands (parsed for real by test_quoted_cli_invocations_parse), so a
+    renamed flag or controller name cannot leave the page stale."""
+    text = (REPO_ROOT / "docs" / "adaptive.md").read_text(encoding="utf-8")
+    commands = _shell_invocations(text)
+    assert any(
+        "--schedule adaptive" in cmd for cmd in commands
+    ), f"docs/adaptive.md quotes no runnable adaptive CLI command: {commands}"
+    assert any(
+        "--schedule adaptive:" in cmd for cmd in commands
+    ), "docs/adaptive.md quotes no thresholded adaptive command"
+
+
 def test_json_example_scan_finds_the_wire_docs():
     """The scanner must see the protocol pages' examples (guards the regex)."""
     service = (REPO_ROOT / "docs" / "service.md").read_text(encoding="utf-8")

@@ -66,6 +66,87 @@ class TestRoundTrip:
         assert ScheduleSpec.parse(str(spec)) == spec
 
 
+class TestSwitchSegments:
+    """Per-iteration balancing switches: the ``POLICY@ITER`` grammar."""
+
+    def test_issue_example_round_trips(self):
+        spec = ScheduleSpec.parse("V-V-64D-B1@2")
+        assert spec.balancing == "U"
+        assert spec.switches == ((2, "B1"),)
+        assert str(spec) == "V-V-64D-B1@2"
+
+    def test_multiple_segments_round_trip(self):
+        spec = ScheduleSpec.parse("N1-N2-B1-B2@2-U@5")
+        assert spec.balancing == "B1"
+        assert spec.switches == ((2, "B2"), (5, "U"))
+        assert str(spec) == "N1-N2-B1-B2@2-U@5"
+
+    def test_active_balancing_resolution(self):
+        spec = ScheduleSpec.parse("V-V-B1-B2@2-U@4")
+        assert [spec.active_balancing(i) for i in range(6)] == [
+            "B1", "B1", "B2", "B2", "U", "U",
+        ]
+
+    def test_iteration_plan_stamps_active_policy(self):
+        spec = ScheduleSpec.parse("V-V-64D-B1@2")
+        assert spec.iteration_plan(0).color.balancing == "U"
+        assert spec.iteration_plan(1).color.balancing == "U"
+        assert spec.iteration_plan(2).color.balancing == "B1"
+        assert spec.iteration_plan(7).color.balancing == "B1"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "V-V-B1@",        # missing iteration
+            "V-V-B1@0",       # iteration 0 is the base policy
+            "V-V-B1@-1",      # negative
+            "V-V-B1@x",       # non-integer
+            "V-V-B3@2",       # unknown policy
+            "V-V-B1@2.5",     # fractional
+        ],
+    )
+    def test_malformed_segments_rejected(self, bad):
+        with pytest.raises(ColoringError, match="cannot parse schedule"):
+            ScheduleSpec.parse(bad)
+
+    def test_duplicate_switch_iteration_rejected(self):
+        with pytest.raises(ColoringError, match="duplicate switch iteration"):
+            ScheduleSpec.parse("V-V-B1@2-B2@2")
+
+    def test_decreasing_switch_iterations_rejected(self):
+        with pytest.raises(ColoringError, match="strictly increasing"):
+            ScheduleSpec.parse("V-V-B2@3-B1@2")
+
+    def test_direct_construction_validated(self):
+        with pytest.raises(ColoringError, match="switch iteration must be >= 1"):
+            ScheduleSpec(switches=((0, "B1"),))
+        with pytest.raises(ColoringError, match="bad switch policy"):
+            ScheduleSpec(switches=((2, "B9"),))
+        with pytest.raises(ColoringError, match="strictly increasing"):
+            ScheduleSpec(switches=((3, "B1"), (2, "B2")))
+
+    @given(
+        net_color=st.integers(min_value=0, max_value=3),
+        extra_removal=st.integers(min_value=0, max_value=3),
+        balancing=st.sampled_from(BALANCING_POLICIES),
+        starts=st.lists(
+            st.integers(min_value=1, max_value=20), unique=True, max_size=4
+        ),
+        policies=st.lists(st.sampled_from(BALANCING_POLICIES), min_size=4, max_size=4),
+    )
+    def test_switched_specs_round_trip(
+        self, net_color, extra_removal, balancing, starts, policies
+    ):
+        switches = tuple(zip(sorted(starts), policies))
+        spec = ScheduleSpec(
+            net_color_iters=net_color,
+            net_removal_iters=max(net_color - 1, 0) + extra_removal,
+            balancing=balancing,
+            switches=switches,
+        )
+        assert ScheduleSpec.parse(str(spec)) == spec
+
+
 class TestAliases:
     @pytest.mark.parametrize(
         "alias, canonical",

@@ -164,6 +164,25 @@ class TestRouter:
         with pytest.raises(ServiceError, match="unknown backend"):
             SizeRouter().route(bg, backend="gpu")
 
+    def test_adaptive_small_routes_to_policy_backend(self, bg):
+        router = SizeRouter(edge_threshold=bg.num_edges + 1)
+        assert router.route(bg, adaptive=True) == "sim"
+
+    def test_adaptive_large_routes_to_process_never_sharded(self, bg):
+        router = SizeRouter(edge_threshold=1, sharded_threshold=1)
+        # Even past the sharded threshold, adaptive stays on the process
+        # tier: the sharded backend has no kernel-level plan loop.
+        assert router.route(bg, adaptive=True) == "process"
+
+    def test_adaptive_pinned_controller_backend_ok(self, bg):
+        assert SizeRouter().route(bg, backend="sim", adaptive=True) == "sim"
+
+    def test_adaptive_pinned_whole_array_rejected(self, bg):
+        with pytest.raises(ServiceError, match="cannot run adaptive"):
+            SizeRouter().route(bg, backend="numpy", adaptive=True)
+        with pytest.raises(ServiceError, match="cannot run adaptive"):
+            SizeRouter().route(bg, backend="sharded", adaptive=True)
+
 
 # -- in-process service -----------------------------------------------------
 
@@ -291,6 +310,45 @@ class TestColoringService:
 
         resp = _run(run())
         assert resp.backend == "numpy"
+
+    def test_adaptive_algorithm_served(self, bg):
+        async def run():
+            # Small unpinned instance would route to numpy, but adaptive
+            # needs a kernel-level backend: the router must pick sim.
+            router = SizeRouter(edge_threshold=bg.num_edges + 1)
+            async with ColoringService(router=router) as service:
+                return await service.submit(
+                    ColoringRequest(graph=bg, algorithm="adaptive")
+                )
+
+        resp = _run(run())
+        assert resp.backend == "sim"
+        assert resp.result.num_colors > 0
+
+    def test_adaptive_threshold_normalized_in_cache_key(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                a = await service.submit(
+                    ColoringRequest(graph=bg, algorithm="adaptive:0.10")
+                )
+                b = await service.submit(
+                    ColoringRequest(graph=bg, algorithm="ADAPTIVE:0.1")
+                )
+                return a, b, service.stats()
+
+        a, b, stats = _run(run())
+        assert np.array_equal(a.result.colors, b.result.colors)
+        assert stats["cache"]["hits"] >= 1
+
+    def test_malformed_adaptive_rejected(self, bg):
+        async def run():
+            async with ColoringService() as service:
+                with pytest.raises(ServiceError, match="cannot parse adaptive"):
+                    await service.submit(
+                        ColoringRequest(graph=bg, algorithm="adaptive:nope")
+                    )
+
+        _run(run())
 
     def test_sequential_algorithm(self, bg):
         async def run():
